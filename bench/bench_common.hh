@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benches: configured runs of the
+ * MoE and attention workloads and result records. Every bench prints the
+ * rows/series of its paper artifact; absolute numbers differ from the
+ * paper's testbed, the reproduced quantity is the shape (orderings,
+ * ratios, crossovers) — see EXPERIMENTS.md.
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "ops/source_sink.hh"
+#include "support/table.hh"
+#include "trace/trace.hh"
+#include "workloads/attention.hh"
+#include "workloads/moe.hh"
+
+namespace step::bench {
+
+/** One MoE-layer simulation under the given tiling/regions. */
+inline SimResult
+runMoe(const ModelConfig& cfg, int64_t batch, Tiling tiling, int64_t tile,
+       int64_t regions, const ExpertTrace& trace,
+       int64_t* useful_flops = nullptr)
+{
+    MoeParams p;
+    p.cfg = cfg;
+    p.batch = batch;
+    p.tiling = tiling;
+    p.tileRows = tile;
+    p.parallelRegions = regions;
+    p.computeBwPerMatmul = cfg.moeMatmulBw;
+    SimConfig sc;
+    sc.channelCapacity = static_cast<size_t>(batch) + 32;
+    Graph g(sc);
+    MoeBuild mb = buildMoeLayer(g, p, trace);
+    g.add<SinkOp>("out", mb.out);
+    if (useful_flops)
+        *useful_flops = moeUsefulFlops(p, trace);
+    return g.run();
+}
+
+/** One attention-layer simulation under the given strategy. */
+inline SimResult
+runAttention(const ModelConfig& cfg, const std::vector<int64_t>& lens,
+             ParStrategy strategy, int64_t regions = 4,
+             const std::vector<uint32_t>* assign = nullptr)
+{
+    AttnParams p;
+    p.cfg = cfg;
+    p.batch = static_cast<int64_t>(lens.size());
+    p.strategy = strategy;
+    p.regions = regions;
+    p.kvTileRows = 32;
+    p.computeBw = 1024;
+    p.coarseBlock = std::max<int64_t>(1, p.batch / regions);
+    if (assign)
+        p.staticAssign = *assign;
+    SimConfig sc;
+    sc.channelCapacity = static_cast<size_t>(p.batch) + 32;
+    Graph g(sc);
+    AttnBuild ab = buildAttentionLayer(g, p, lens);
+    g.add<SinkOp>("out", ab.out);
+    return g.run();
+}
+
+inline void
+banner(const std::string& title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace step::bench

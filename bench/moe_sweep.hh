@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared static-vs-dynamic tiling sweep used by the Figure 9/10 (and
+ * appendix Figure 19/20) benches: runs the MoE layer for each static
+ * tile size and for dynamic tiling, reports latency, on-chip memory and
+ * off-chip traffic, and computes the Pareto Improvement Distance of the
+ * dynamic point against the static frontier.
+ */
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/pareto.hh"
+#include "bench_common.hh"
+
+namespace step::bench {
+
+struct TilingSweepRow
+{
+    std::string label;
+    SimResult sim;
+};
+
+inline bool
+tilingSweep(const ModelConfig& cfg, int64_t batch,
+            const std::vector<int64_t>& tiles, uint64_t seed)
+{
+    ExpertTrace trace = representativeExpertTrace(
+        seed, batch, cfg.numExperts, cfg.topK);
+    std::cout << cfg.name << ": batch=" << batch << ", active experts="
+              << trace.activeExperts() << ", bin stddev="
+              << trace.binStddev() << "\n";
+
+    std::vector<DesignPoint> static_pts;
+    Table t({"Tiling", "Latency(cycles)", "OnChipMem(B)",
+             "OffChipTraffic(MB)", "FLOPs(G)"});
+    for (int64_t tile : tiles) {
+        SimResult r = runMoe(cfg, batch, Tiling::Static, tile, 0, trace);
+        static_pts.push_back(DesignPoint{
+            static_cast<double>(r.cycles),
+            static_cast<double>(r.onChipPeakBytes),
+            "tile=" + std::to_string(tile)});
+        t.row()
+            .cell("static tile=" + std::to_string(tile))
+            .cell(r.cycles)
+            .cell(r.onChipPeakBytes)
+            .cellF(static_cast<double>(r.offChipBytes) / 1e6, 1)
+            .cellF(static_cast<double>(r.totalFlops) / 1e9, 2);
+    }
+    SimResult dyn = runMoe(cfg, batch, Tiling::Dynamic, 0, 0, trace);
+    t.row()
+        .cell("dynamic")
+        .cell(dyn.cycles)
+        .cell(dyn.onChipPeakBytes)
+        .cellF(static_cast<double>(dyn.offChipBytes) / 1e6, 1)
+        .cellF(static_cast<double>(dyn.totalFlops) / 1e9, 2);
+    t.print();
+
+    DesignPoint dp{static_cast<double>(dyn.cycles),
+                   static_cast<double>(dyn.onChipPeakBytes), "dynamic"};
+    double pid = paretoImprovementDistance(dp, static_pts);
+    std::cout << "Pareto Improvement Distance of dynamic tiling: " << pid
+              << (pid > 1.0 ? "  (beyond the static frontier)" : "")
+              << "\n\n";
+    return pid > 1.0;
+}
+
+} // namespace step::bench

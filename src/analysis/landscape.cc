@@ -1,0 +1,59 @@
+#include "analysis/landscape.hh"
+
+namespace step {
+
+namespace {
+
+uint32_t
+mask(std::initializer_list<Capability> cs)
+{
+    uint32_t m = 0;
+    for (Capability c : cs)
+        m |= static_cast<uint32_t>(c);
+    return m;
+}
+
+} // namespace
+
+std::vector<AbstractionProfile>
+landscapeProfiles()
+{
+    using C = Capability;
+    return {
+        {"Spatial", mask({C::ExplicitMemHierarchy})},
+        {"Revet", mask({C::ExplicitMemHierarchy,
+                        C::LimitedDynamicRouting})},
+        {"StreamIt", mask({C::DataFlow, C::ExplicitDataRate})},
+        {"SAM", mask({C::DataFlow, C::LimitedDynamicRouting,
+                      C::LimitedDynamicTiling})},
+        {"Ripple", mask({C::DataFlow, C::DynamicRouting})},
+        {"STeP", mask({C::DataFlow, C::ExplicitDataRate,
+                       C::ExplicitMemHierarchy, C::DynamicRouting,
+                       C::DynamicOnChipTiling, C::DynamicTileShape,
+                       C::DynamicAccum})},
+    };
+}
+
+std::vector<OptimizationSpec>
+optimizationSpecs()
+{
+    using C = Capability;
+    return {
+        {"Dynamic Tiling",
+         {C::DynamicTileShape, C::ExplicitMemHierarchy, C::DynamicAccum}},
+        {"Configuration Time-multiplexing",
+         {C::ExplicitMemHierarchy, C::DynamicRouting}},
+        {"Dynamic Parallelization", {C::DynamicRouting}},
+    };
+}
+
+bool
+canExpress(const AbstractionProfile& profile, const OptimizationSpec& opt)
+{
+    for (Capability c : opt.requires_)
+        if (!profile.has(c))
+            return false;
+    return true;
+}
+
+} // namespace step

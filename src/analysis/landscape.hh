@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Executable encoding of Table 1 (abstraction landscape) and Table 2
+ * (optimization -> enabling STeP features). Each abstraction is a set of
+ * capability flags; each optimization declares the capabilities it
+ * requires; expressibility is computed, not asserted, so the tables stay
+ * consistent with the claims they encode.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace step {
+
+enum class Capability : uint32_t {
+    DataFlow = 1u << 0,
+    ExplicitDataRate = 1u << 1,
+    ExplicitMemHierarchy = 1u << 2,
+    DynamicRouting = 1u << 3,        ///< full routing & merging
+    LimitedDynamicRouting = 1u << 4, ///< scalar-only / domain-limited
+    DynamicOnChipTiling = 1u << 5,
+    LimitedDynamicTiling = 1u << 6,
+    DynamicTileShape = 1u << 7,
+    DynamicAccum = 1u << 8,          ///< Accum over dynamic tiles
+};
+
+struct AbstractionProfile
+{
+    std::string name;
+    uint32_t caps = 0;
+
+    bool
+    has(Capability c) const
+    {
+        return (caps & static_cast<uint32_t>(c)) != 0;
+    }
+};
+
+struct OptimizationSpec
+{
+    std::string name;
+    /** All of these are required (Table 2). */
+    std::vector<Capability> requires_;
+};
+
+/** The Table-1 rows: Spatial, Revet, StreamIt, SAM, Ripple, STeP. */
+std::vector<AbstractionProfile> landscapeProfiles();
+
+/** The Table-2 rows: dynamic tiling, config time-mux, dynamic par. */
+std::vector<OptimizationSpec> optimizationSpecs();
+
+/** Can @p profile express @p opt? (conjunction of required caps). */
+bool canExpress(const AbstractionProfile& profile,
+                const OptimizationSpec& opt);
+
+} // namespace step

@@ -1,0 +1,52 @@
+#include "analysis/pareto.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace step {
+
+std::vector<DesignPoint>
+paretoFrontier(std::vector<DesignPoint> pts)
+{
+    std::vector<DesignPoint> out;
+    for (const auto& p : pts) {
+        bool dominated = false;
+        for (const auto& q : pts) {
+            bool q_no_worse = q.cycles <= p.cycles && q.mem <= p.mem;
+            bool q_better = q.cycles < p.cycles || q.mem < p.mem;
+            if (q_no_worse && q_better) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            out.push_back(p);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const DesignPoint& a, const DesignPoint& b) {
+                  return a.mem < b.mem;
+              });
+    return out;
+}
+
+double
+paretoImprovementDistance(const DesignPoint& p,
+                          const std::vector<DesignPoint>& baseline)
+{
+    STEP_ASSERT(p.cycles > 0 && p.mem > 0, "PID needs positive objectives");
+    auto frontier = paretoFrontier(baseline);
+    STEP_ASSERT(!frontier.empty(), "PID needs a baseline frontier");
+    double best = 0.0;
+    bool first = true;
+    for (const auto& q : frontier) {
+        double d = std::max(q.cycles / p.cycles, q.mem / p.mem);
+        if (first || d < best) {
+            best = d;
+            first = false;
+        }
+    }
+    return best;
+}
+
+} // namespace step

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Pareto analysis for two-objective (cycles, on-chip memory) design
+ * spaces, including the Pareto Improvement Distance of section 5.2 /
+ * appendix B.4 (equation 2).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace step {
+
+struct DesignPoint
+{
+    double cycles = 0.0;
+    double mem = 0.0;
+    std::string label;
+};
+
+/** Pareto-optimal (minimizing) subset, dominated points removed. */
+std::vector<DesignPoint> paretoFrontier(std::vector<DesignPoint> pts);
+
+/**
+ * PID(p) = min over frontier q of max(cycles(q)/cycles(p),
+ * mem(q)/mem(p)). > 1 means p lies strictly beyond the baseline
+ * frontier (equation 2).
+ */
+double paretoImprovementDistance(const DesignPoint& p,
+                                 const std::vector<DesignPoint>& baseline);
+
+} // namespace step

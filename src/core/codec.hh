@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tensor <-> token-stream codec plus the stop-coalescing writer state
+ * machine. These implement the stream protocol described in
+ * core/token.hh and are the backbone of the operator unit tests: every
+ * operator's output is decoded back into nested tensors and compared with
+ * a dense reference.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/token.hh"
+
+namespace step {
+
+/**
+ * Nested (possibly ragged) tensor-of-values used to build and inspect
+ * streams in tests. A Nested is either a leaf Value or a list of Nested.
+ */
+class Nested
+{
+  public:
+    Nested() : node_(std::vector<Nested>{}) {}
+    Nested(Value v) : node_(std::move(v)) {}                // NOLINT
+    static Nested list(std::vector<Nested> xs)
+    {
+        Nested n;
+        n.node_ = std::move(xs);
+        return n;
+    }
+
+    bool isLeaf() const { return std::holds_alternative<Value>(node_); }
+    const Value& leaf() const { return std::get<Value>(node_); }
+    const std::vector<Nested>&
+    children() const
+    {
+        return std::get<std::vector<Nested>>(node_);
+    }
+    std::vector<Nested>&
+    children()
+    {
+        return std::get<std::vector<Nested>>(node_);
+    }
+
+    /** Depth below this node (leaf = 0). Ragged trees use max depth. */
+    size_t depth() const;
+
+    std::string toString() const;
+
+  private:
+    std::variant<Value, std::vector<Nested>> node_;
+};
+
+/**
+ * Writer-side stop coalescing: buffers the most recent stop and upgrades
+ * it when a higher-level stop closes the same position, so "only the
+ * highest-level stop token" is emitted at nested dimension ends, while
+ * stops at the same-or-lower level flush through (empty groups).
+ *
+ * Coroutine-friendly: each call returns the tokens to physically emit.
+ */
+class StopCoalescer
+{
+  public:
+    std::vector<Token>
+    onData(Value v)
+    {
+        std::vector<Token> out = flush();
+        out.push_back(Token::data(std::move(v)));
+        return out;
+    }
+
+    std::vector<Token>
+    onToken(const Token& t)
+    {
+        if (t.isData())
+            return onData(t.value());
+        if (t.isStop())
+            return onStop(t.level());
+        return onDone();
+    }
+
+    std::vector<Token>
+    onStop(uint32_t level)
+    {
+        std::vector<Token> out;
+        if (pending_ && *pending_ < level) {
+            pending_ = level;           // upgrade: nested ends coincide
+        } else {
+            out = flush();              // same/lower level: genuine stop
+            pending_ = level;
+        }
+        return out;
+    }
+
+    std::vector<Token>
+    onDone()
+    {
+        std::vector<Token> out = flush();
+        out.push_back(Token::done());
+        return out;
+    }
+
+    /** Force out any buffered stop (used before Done or at barriers). */
+    std::vector<Token>
+    flush()
+    {
+        std::vector<Token> out;
+        if (pending_) {
+            out.push_back(Token::stop(*pending_));
+            pending_.reset();
+        }
+        return out;
+    }
+
+  private:
+    std::optional<uint32_t> pending_;
+};
+
+/**
+ * Encode a nested tensor of depth @p rank into a token stream ending in
+ * Done. Leaves at depth 0; ragged children are fine; empty groups encode
+ * as repeated stops.
+ */
+std::vector<Token> encodeNested(const Nested& n, size_t rank);
+
+/** Decode a well-formed rank-@p rank token stream back into a Nested. */
+Nested decodeNested(const std::vector<Token>& toks, size_t rank);
+
+/**
+ * Check protocol invariants for a rank-@p rank stream. Returns an error
+ * description, or std::nullopt if well-formed.
+ */
+std::optional<std::string> checkWellFormed(const std::vector<Token>& toks,
+                                           size_t rank);
+
+/** Count data tokens. */
+size_t countData(const std::vector<Token>& toks);
+
+/** Printable "1, 2, S1, 3, S2, D" form (paper notation). */
+std::string tokensToString(const std::vector<Token>& toks);
+
+} // namespace step

@@ -1,0 +1,144 @@
+#include "core/dtype.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace step {
+
+DataType
+DataType::tile(Dim rows, Dim cols, int elem_bytes)
+{
+    DataType d;
+    d.kind_ = ValueKind::Tile;
+    d.rows_ = std::move(rows);
+    d.cols_ = std::move(cols);
+    d.elemBytes_ = elem_bytes;
+    return d;
+}
+
+DataType
+DataType::tile(int64_t rows, int64_t cols, int elem_bytes)
+{
+    return tile(Dim::fixed(rows), Dim::fixed(cols), elem_bytes);
+}
+
+DataType
+DataType::selector(int64_t fanout)
+{
+    DataType d;
+    d.kind_ = ValueKind::Selector;
+    d.fanout_ = fanout;
+    return d;
+}
+
+DataType
+DataType::bufferRef(std::vector<Dim> buffer_dims, DataType elem)
+{
+    DataType d;
+    d.kind_ = ValueKind::BufferRef;
+    d.bufferDims_ = std::move(buffer_dims);
+    d.pointee_ = std::make_shared<const DataType>(std::move(elem));
+    return d;
+}
+
+DataType
+DataType::tuple(std::vector<DataType> elems)
+{
+    DataType d;
+    d.kind_ = ValueKind::Tuple;
+    d.elems_ = std::move(elems);
+    return d;
+}
+
+const DataType&
+DataType::pointee() const
+{
+    STEP_ASSERT(isBufferRef() && pointee_, "pointee() on non-buffer dtype");
+    return *pointee_;
+}
+
+sym::Expr
+DataType::sizeBytes() const
+{
+    switch (kind_) {
+      case ValueKind::Tile:
+        return rows_.size * cols_.size * sym::Expr(int64_t{elemBytes_});
+      case ValueKind::Selector:
+        return sym::Expr(int64_t{8});
+      case ValueKind::BufferRef:
+        return sym::Expr(int64_t{8});
+      case ValueKind::Tuple: {
+        sym::Expr total;
+        for (const auto& e : elems_)
+            total += e.sizeBytes();
+        return total;
+      }
+    }
+    stepPanic("unreachable dtype kind");
+}
+
+sym::Expr
+DataType::referencedBytes() const
+{
+    STEP_ASSERT(isBufferRef(), "referencedBytes() on non-buffer dtype");
+    sym::Expr count(int64_t{1});
+    for (const auto& d : bufferDims_)
+        count *= d.size;
+    return count * pointee_->sizeBytes();
+}
+
+bool
+DataType::hasDynamicDims() const
+{
+    switch (kind_) {
+      case ValueKind::Tile:
+        return rows_.isDynamic() || cols_.isDynamic();
+      case ValueKind::Selector:
+        return false;
+      case ValueKind::BufferRef: {
+        for (const auto& d : bufferDims_)
+            if (d.isDynamic())
+                return true;
+        return pointee_->hasDynamicDims();
+      }
+      case ValueKind::Tuple: {
+        for (const auto& e : elems_)
+            if (e.hasDynamicDims())
+                return true;
+        return false;
+      }
+    }
+    stepPanic("unreachable dtype kind");
+}
+
+std::string
+DataType::toString() const
+{
+    std::ostringstream os;
+    switch (kind_) {
+      case ValueKind::Tile:
+        os << "Tile[" << rows_.toString() << "," << cols_.toString() << "]";
+        break;
+      case ValueKind::Selector:
+        os << "Sel<" << fanout_ << ">";
+        break;
+      case ValueKind::BufferRef: {
+        os << "Buffer[";
+        for (size_t i = 0; i < bufferDims_.size(); ++i)
+            os << (i ? "," : "") << bufferDims_[i].toString();
+        os << "]<" << pointee_->toString() << ">";
+        break;
+      }
+      case ValueKind::Tuple: {
+        os << "(";
+        for (size_t i = 0; i < elems_.size(); ++i)
+            os << (i ? "," : "") << elems_[i].toString();
+        os << ")";
+        break;
+      }
+    }
+    return os.str();
+}
+
+} // namespace step

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Symbolic descriptors of stream data types, used by shape inference and
+ * by the section-4.2 metric equations (|dtype| terms). The runtime values
+ * are in core/value.hh; this is the compile-time view.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stream_shape.hh"
+#include "core/tile.hh"
+#include "symbolic/expr.hh"
+
+namespace step {
+
+enum class ValueKind : uint8_t { Tile, Selector, BufferRef, Tuple };
+
+/** Compile-time data type of a stream. */
+class DataType
+{
+  public:
+    /** Default: a [1,1] tile (member initializers below). */
+    DataType() = default;
+
+    /** Tile type with (possibly symbolic / dynamic) dimensions. */
+    static DataType tile(Dim rows, Dim cols,
+                         int elem_bytes = kDefaultElemBytes);
+    static DataType tile(int64_t rows, int64_t cols,
+                         int elem_bytes = kDefaultElemBytes);
+
+    /** Selector (multi-hot vector over @p fanout consumers). */
+    static DataType selector(int64_t fanout);
+
+    /**
+     * Reference to an on-chip buffer holding a rank-|dims| arrangement of
+     * tiles of @p elem type.
+     */
+    static DataType bufferRef(std::vector<Dim> buffer_dims, DataType elem);
+
+    static DataType tuple(std::vector<DataType> elems);
+
+    ValueKind kind() const { return kind_; }
+    bool isTile() const { return kind_ == ValueKind::Tile; }
+    bool isSelector() const { return kind_ == ValueKind::Selector; }
+    bool isBufferRef() const { return kind_ == ValueKind::BufferRef; }
+    bool isTuple() const { return kind_ == ValueKind::Tuple; }
+
+    const Dim& tileRows() const { return rows_; }
+    const Dim& tileCols() const { return cols_; }
+    int elemBytes() const { return elemBytes_; }
+
+    const std::vector<Dim>& bufferDims() const { return bufferDims_; }
+    /** Element type of a buffer reference. */
+    const DataType& pointee() const;
+    const std::vector<DataType>& tupleElems() const { return elems_; }
+
+    /** |dtype| of section 4.2: wire/storage size in bytes. */
+    sym::Expr sizeBytes() const;
+
+    /** ||buffer|| * |elem| — payload bytes a BufferRef points at. */
+    sym::Expr referencedBytes() const;
+
+    /** True if any constituent dim is non-static. */
+    bool hasDynamicDims() const;
+
+    std::string toString() const;
+
+  private:
+    ValueKind kind_ = ValueKind::Tile;
+    Dim rows_ = Dim::fixed(1);
+    Dim cols_ = Dim::fixed(1);
+    int elemBytes_ = kDefaultElemBytes;
+    int64_t fanout_ = 0;
+    std::vector<Dim> bufferDims_;
+    std::shared_ptr<const DataType> pointee_;
+    std::vector<DataType> elems_;
+};
+
+} // namespace step

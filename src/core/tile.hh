@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Runtime tile type. A tile is a two-dimensional regular matrix whose shape
+ * may be decided at runtime (dynamically-sized tiles are first-class in
+ * STeP, section 3.1). Tiles run in one of two modes:
+ *
+ *  - timing mode: shape-only; `data()` is null. The simulator cost model
+ *    only needs rows/cols/element-size, so full model dimensions can be
+ *    simulated without materializing weights.
+ *  - functional mode: carries float payload so tests can check STeP graphs
+ *    against dense references.
+ *
+ * Payloads are shared (copy-on-write by convention: tiles are immutable
+ * once built), so routing a tile through the graph never deep-copies.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace step {
+
+/** Default element size: BFloat16, as in the paper's evaluation. */
+constexpr int kDefaultElemBytes = 2;
+
+class Tile
+{
+  public:
+    Tile() = default;
+
+    /** Shape-only tile (timing mode). */
+    Tile(int64_t rows, int64_t cols, int elem_bytes = kDefaultElemBytes);
+
+    /** Tile with payload (functional mode); data.size()==rows*cols. */
+    static Tile withData(int64_t rows, int64_t cols,
+                         std::vector<float> data,
+                         int elem_bytes = kDefaultElemBytes);
+
+    /** Tile of zeros with payload. */
+    static Tile zeros(int64_t rows, int64_t cols,
+                      int elem_bytes = kDefaultElemBytes);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    int elemBytes() const { return elemBytes_; }
+    int64_t numel() const { return rows_ * cols_; }
+    int64_t bytes() const { return numel() * elemBytes_; }
+    bool hasData() const { return data_ != nullptr; }
+
+    /** Element access; requires hasData(). */
+    float at(int64_t r, int64_t c) const;
+
+    const std::vector<float>* data() const { return data_.get(); }
+
+    bool
+    sameShape(const Tile& o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_;
+    }
+
+    /** Exact equality (shape, and payload when both have data). */
+    bool equals(const Tile& o, float tol = 0.0f) const;
+
+  private:
+    int64_t rows_ = 0;
+    int64_t cols_ = 0;
+    int elemBytes_ = kDefaultElemBytes;
+    std::shared_ptr<const std::vector<float>> data_;
+};
+
+/** C = A x B. FLOPs = 2*m*k*n (counted even in timing mode). */
+Tile matmul(const Tile& a, const Tile& b, int64_t* flops = nullptr);
+
+/** Elementwise sum; shapes must match. */
+Tile add(const Tile& a, const Tile& b, int64_t* flops = nullptr);
+
+/** Elementwise (Hadamard) product. */
+Tile elemMul(const Tile& a, const Tile& b, int64_t* flops = nullptr);
+
+/** SiLU activation x * sigmoid(x), as used by SwiGLU. */
+Tile silu(const Tile& a, int64_t* flops = nullptr);
+
+/** Row-wise concatenation: [a; b]. Used by the RetileRow accumulator. */
+Tile retileRow(const Tile& a, const Tile& b);
+
+/** Column-wise concatenation: [a, b]. Used by the RetileCol accumulator. */
+Tile retileCol(const Tile& a, const Tile& b);
+
+/** Rows [r0, r1) of the tile. Used by RetileStreamify splitting. */
+Tile sliceRows(const Tile& a, int64_t r0, int64_t r1);
+
+} // namespace step

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Stream tokens. A STeP stream is a sequence of data values interleaved
+ * with stop tokens S_N (N >= 1) that annotate the ends of tensor
+ * dimensions, terminated by a Done token (section 3.1 "Stop Tokens").
+ *
+ * Protocol for a rank-r stream (see DESIGN.md section 5.2):
+ *  - stop levels lie in [1, r-1];
+ *  - at the end of multiple nested dimensions only the highest stop is
+ *    emitted (writers enforce this via StopCoalescer);
+ *  - a stop following a stop of greater-or-equal level encodes an empty
+ *    group;
+ *  - a non-empty stream's final tokens are S_{r-1}, Done; an empty stream
+ *    is just Done.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/value.hh"
+
+namespace step {
+
+class Token
+{
+  public:
+    enum class Kind : uint8_t { Data, Stop, Done };
+
+    Token() : kind_(Kind::Done) {}
+
+    static Token data(Value v) { return Token(Kind::Data, 0, std::move(v)); }
+    static Token stop(uint32_t level)
+    {
+        return Token(Kind::Stop, level, Value());
+    }
+    static Token done() { return Token(Kind::Done, 0, Value()); }
+
+    Kind kind() const { return kind_; }
+    bool isData() const { return kind_ == Kind::Data; }
+    bool isStop() const { return kind_ == Kind::Stop; }
+    bool isDone() const { return kind_ == Kind::Done; }
+
+    /** Stop level; only meaningful for stop tokens. */
+    uint32_t level() const { return level_; }
+
+    const Value& value() const { return value_; }
+
+    /** Wire size used for FIFO bandwidth modeling. */
+    int64_t
+    bytes() const
+    {
+        return isData() ? value_.bytes() : 1;
+    }
+
+    std::string
+    toString() const
+    {
+        if (isData())
+            return value_.toString();
+        if (isStop())
+            return "S" + std::to_string(level_);
+        return "D";
+    }
+
+  private:
+    Token(Kind k, uint32_t level, Value v)
+        : kind_(k), level_(level), value_(std::move(v))
+    {}
+
+    Kind kind_;
+    uint32_t level_ = 0;
+    Value value_;
+};
+
+} // namespace step

@@ -1,0 +1,97 @@
+#include "core/value.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace step {
+
+int64_t
+TupleVal::bytes() const
+{
+    int64_t n = 0;
+    if (elems)
+        for (const auto& e : *elems)
+            n += e.bytes();
+    return n;
+}
+
+Value
+Value::tuple(std::vector<Value> elems)
+{
+    TupleVal t;
+    t.elems = std::make_shared<const std::vector<Value>>(std::move(elems));
+    return Value(std::move(t));
+}
+
+const Tile&
+Value::tile() const
+{
+    STEP_ASSERT(isTile(), "value is not a tile: " << toString());
+    return std::get<Tile>(v_);
+}
+
+const Selector&
+Value::selector() const
+{
+    STEP_ASSERT(isSelector(), "value is not a selector: " << toString());
+    return std::get<Selector>(v_);
+}
+
+const BufferRef&
+Value::bufferRef() const
+{
+    STEP_ASSERT(isBufferRef(), "value is not a buffer ref: " << toString());
+    return std::get<BufferRef>(v_);
+}
+
+const std::vector<Value>&
+Value::tupleElems() const
+{
+    STEP_ASSERT(isTuple(), "value is not a tuple: " << toString());
+    return *std::get<TupleVal>(v_).elems;
+}
+
+int64_t
+Value::bytes() const
+{
+    if (isTile())
+        return tile().bytes();
+    if (isSelector())
+        return selector().bytes();
+    if (isBufferRef())
+        return bufferRef().bytes();
+    return std::get<TupleVal>(v_).bytes();
+}
+
+std::string
+Value::toString() const
+{
+    std::ostringstream os;
+    if (isTile()) {
+        const Tile& t = tile();
+        os << "Tile[" << t.rows() << "x" << t.cols() << "]";
+        if (t.hasData() && t.numel() <= 4) {
+            os << "{";
+            for (int64_t i = 0; i < t.rows(); ++i)
+                for (int64_t j = 0; j < t.cols(); ++j)
+                    os << (i + j ? "," : "") << t.at(i, j);
+            os << "}";
+        }
+    } else if (isSelector()) {
+        os << "Sel(";
+        for (size_t i = 0; i < selector().indices.size(); ++i)
+            os << (i ? "," : "") << selector().indices[i];
+        os << ")";
+    } else if (isBufferRef()) {
+        os << "Buf#" << bufferRef().id;
+    } else {
+        os << "Tuple(";
+        for (size_t i = 0; i < tupleElems().size(); ++i)
+            os << (i ? "," : "") << tupleElems()[i].toString();
+        os << ")";
+    }
+    return os.str();
+}
+
+} // namespace step

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Stream element values. A STeP stream's data type is a tile, a selector,
+ * a read-only reference to on-chip memory, or a tuple of these
+ * (section 3.1 "Data Type").
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/tile.hh"
+
+namespace step {
+
+/**
+ * Multi-hot routing vector: the indices of the selected consumers or
+ * producers (Figure 4 writes these as tuples of nonzero indices).
+ */
+struct Selector
+{
+    std::vector<uint32_t> indices;
+
+    Selector() = default;
+    explicit Selector(std::vector<uint32_t> idx) : indices(std::move(idx)) {}
+    static Selector oneHot(uint32_t i) { return Selector({i}); }
+
+    bool operator==(const Selector& o) const { return indices == o.indices; }
+    /** Metric size: one machine word. */
+    int64_t bytes() const { return 8; }
+};
+
+/** Read-only reference to a buffer allocated in on-chip memory. */
+struct BufferRef
+{
+    /** Scratchpad allocation id (see mem/scratchpad.hh). */
+    uint64_t id = 0;
+    /** Total payload bytes of the referenced buffer. */
+    int64_t payloadBytes = 0;
+
+    bool operator==(const BufferRef& o) const { return id == o.id; }
+    /** Metric size: an address. */
+    int64_t bytes() const { return 8; }
+};
+
+class Value;
+
+/** Tuple payload (from Zip); shared to keep Value cheap to copy. */
+struct TupleVal
+{
+    std::shared_ptr<const std::vector<Value>> elems;
+
+    int64_t bytes() const;
+};
+
+/**
+ * A single data element travelling on a stream.
+ */
+class Value
+{
+  public:
+    Value() : v_(Tile()) {}
+    Value(Tile t) : v_(std::move(t)) {}             // NOLINT implicit
+    Value(Selector s) : v_(std::move(s)) {}         // NOLINT implicit
+    Value(BufferRef b) : v_(std::move(b)) {}        // NOLINT implicit
+    Value(TupleVal t) : v_(std::move(t)) {}         // NOLINT implicit
+
+    static Value tuple(std::vector<Value> elems);
+
+    bool isTile() const { return std::holds_alternative<Tile>(v_); }
+    bool isSelector() const { return std::holds_alternative<Selector>(v_); }
+    bool isBufferRef() const { return std::holds_alternative<BufferRef>(v_); }
+    bool isTuple() const { return std::holds_alternative<TupleVal>(v_); }
+
+    const Tile& tile() const;
+    const Selector& selector() const;
+    const BufferRef& bufferRef() const;
+    const std::vector<Value>& tupleElems() const;
+
+    /** Wire size in bytes, used by the roofline timing model. */
+    int64_t bytes() const;
+
+    std::string toString() const;
+
+  private:
+    std::variant<Tile, Selector, BufferRef, TupleVal> v_;
+};
+
+} // namespace step

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Timestamped bounded FIFO channel between two contexts.
+ *
+ * Semantics (credit-based backpressure, as in latency-insensitive /
+ * DAM-style simulation):
+ *  - The channel starts with `capacity` credits at time 0.
+ *  - send: the writer consumes the earliest credit; its clock advances to
+ *    the credit's availability (stall-until-space), and the token becomes
+ *    visible to the reader at writer_clock + latency.
+ *  - recv: the reader's clock advances to the token's ready time; a new
+ *    credit is released at the reader's clock.
+ *
+ * Channels are single-producer single-consumer; fan-out is an explicit
+ * Broadcast operator, as on real SDA fabrics.
+ */
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <string>
+
+#include "core/token.hh"
+#include "dam/context.hh"
+
+namespace step::dam {
+
+class Scheduler;
+
+class Channel
+{
+  public:
+    /**
+     * @param name     diagnostic label
+     * @param capacity max in-flight tokens (hardware FIFO depth)
+     * @param latency  cycles from send to visibility
+     */
+    explicit Channel(std::string name, size_t capacity = 8,
+                     Cycle latency = 1);
+
+    const std::string& name() const { return name_; }
+    size_t capacity() const { return capacity_; }
+    Cycle latency() const { return latency_; }
+
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    bool hasCredit() const { return !credits_.empty(); }
+
+    /** Ready time of the head token; requires !empty(). */
+    Cycle frontTime() const;
+    /** Head token without consuming; requires !empty(). */
+    const Token& frontToken() const;
+
+    /** Bind endpoints (done by the graph builder). */
+    void setProducer(Context* p) { producer_ = p; }
+    void setConsumer(Context* c) { consumer_ = c; }
+    Context* producer() const { return producer_; }
+    Context* consumer() const { return consumer_; }
+
+    // ---- coroutine interface ------------------------------------------
+
+    struct ReadAwaiter
+    {
+        Channel& ch;
+        Context& reader;
+
+        bool await_ready() const { return !ch.empty(); }
+        void await_suspend(std::coroutine_handle<>) const;
+        Token await_resume() const { return ch.pop(reader); }
+    };
+
+    struct WriteAwaiter
+    {
+        Channel& ch;
+        Context& writer;
+        Token tok;
+        Cycle minReady = 0;
+
+        bool await_ready() const { return ch.hasCredit(); }
+        void await_suspend(std::coroutine_handle<>) const;
+        void await_resume() { ch.push(writer, std::move(tok), minReady); }
+    };
+
+    /** co_await ch.read(self) -> Token. */
+    ReadAwaiter read(Context& reader) { return ReadAwaiter{*this, reader}; }
+
+    /** co_await ch.write(self, token). */
+    WriteAwaiter
+    write(Context& writer, Token t)
+    {
+        return WriteAwaiter{*this, writer, std::move(t)};
+    }
+
+    /**
+     * co_await ch.writeAt(self, token, t): like write but the token
+     * becomes visible no earlier than @p min_ready (e.g. a DRAM
+     * completion time) — models pipelined units with in-flight requests.
+     */
+    WriteAwaiter
+    writeAt(Context& writer, Token t, Cycle min_ready)
+    {
+        return WriteAwaiter{*this, writer, std::move(t), min_ready};
+    }
+
+    /** Register/unregister a multi-channel waiter (see WaitAny). */
+    void setWaitingReader(Context* c) { waitingReader_ = c; }
+
+    /** Total tokens ever pushed (stats). */
+    uint64_t totalPushed() const { return totalPushed_; }
+
+  private:
+    friend struct ReadAwaiter;
+    friend struct WriteAwaiter;
+
+    void push(Context& writer, Token t, Cycle min_ready = 0);
+    Token pop(Context& reader);
+
+    std::string name_;
+    size_t capacity_;
+    Cycle latency_;
+
+    struct Entry
+    {
+        Cycle ready;
+        Token tok;
+    };
+    std::deque<Entry> entries_;
+    std::deque<Cycle> credits_;
+
+    Context* producer_ = nullptr;
+    Context* consumer_ = nullptr;
+    Context* waitingReader_ = nullptr;
+    Context* waitingWriter_ = nullptr;
+    uint64_t totalPushed_ = 0;
+};
+
+/**
+ * Awaitable that suspends until at least one of the given channels is
+ * non-empty. Used by EagerMerge-style operators; the caller re-inspects
+ * heads after resuming.
+ */
+struct WaitAny
+{
+    std::vector<Channel*> chans;
+    Context& self;
+
+    bool
+    await_ready() const
+    {
+        for (const Channel* c : chans)
+            if (!c->empty())
+                return true;
+        return false;
+    }
+
+    void await_suspend(std::coroutine_handle<>) const;
+
+    void
+    await_resume() const
+    {
+        for (Channel* c : chans)
+            c->setWaitingReader(nullptr);
+    }
+};
+
+/** Reschedules the context, letting lower-clock contexts run first. */
+struct Yield
+{
+    Context& self;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<>) const;
+    void await_resume() const {}
+};
+
+} // namespace step::dam

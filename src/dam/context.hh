@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simulation context: one asynchronously executing dataflow block with a
+ * local virtual clock. Subclasses implement run() as a coroutine.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dam/task.hh"
+
+namespace step::dam {
+
+class Scheduler;
+
+enum class CtxState : uint8_t {
+    NotStarted,
+    Ready,
+    Running,
+    Blocked,
+    Finished,
+};
+
+class Context
+{
+  public:
+    explicit Context(std::string name) : name_(std::move(name)) {}
+    virtual ~Context() = default;
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    /** The operator body. Runs as a coroutine under the scheduler. */
+    virtual SimTask run() = 0;
+
+    const std::string& name() const { return name_; }
+    Cycle now() const { return now_; }
+    CtxState state() const { return state_; }
+    const std::string& blockReason() const { return blockReason_; }
+
+    /** Local time bump: the block was busy for @p dt cycles. */
+    void advance(Cycle dt) { now_ += dt; }
+    /** Local time join: wait until at least @p t. */
+    void
+    advanceTo(Cycle t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    Scheduler* scheduler() const { return sched_; }
+
+  private:
+    friend class Scheduler;
+    friend class Channel;
+    friend struct WaitAny;
+    friend struct Yield;
+
+    std::string name_;
+    Cycle now_ = 0;
+    CtxState state_ = CtxState::NotStarted;
+    std::string blockReason_;
+    Scheduler* sched_ = nullptr;
+    SimTask task_;
+    uint64_t id_ = 0;
+};
+
+} // namespace step::dam

@@ -1,0 +1,113 @@
+#include "dam/scheduler.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace step::dam {
+
+void
+Scheduler::add(Context* ctx)
+{
+    STEP_ASSERT(ctx->state_ == CtxState::NotStarted,
+                "context " << ctx->name() << " registered twice");
+    ctx->sched_ = this;
+    ctx->id_ = contexts_.size();
+    contexts_.push_back(ctx);
+}
+
+void
+Scheduler::enqueue(Context* ctx)
+{
+    ready_.push(QEntry{ctx->now(), seq_++, ctx});
+}
+
+void
+Scheduler::makeReady(Context* ctx)
+{
+    if (ctx->state_ == CtxState::Blocked) {
+        ctx->state_ = CtxState::Ready;
+        ctx->blockReason_.clear();
+        enqueue(ctx);
+    }
+}
+
+void
+Scheduler::yieldRunning(Context* ctx)
+{
+    STEP_ASSERT(ctx->state_ == CtxState::Running,
+                "yield from non-running context");
+    ctx->state_ = CtxState::Ready;
+    enqueue(ctx);
+}
+
+Cycle
+Scheduler::minReadyClock(const Context* self) const
+{
+    Cycle best = ~Cycle{0};
+    for (const Context* c : contexts_) {
+        if (c == self)
+            continue;
+        if (c->state_ == CtxState::Ready && c->now() < best)
+            best = c->now();
+    }
+    return best;
+}
+
+void
+Scheduler::run()
+{
+    finished_ = 0;
+    for (Context* ctx : contexts_) {
+        ctx->task_ = ctx->run();
+        ctx->state_ = CtxState::Ready;
+        enqueue(ctx);
+    }
+
+    while (finished_ < contexts_.size()) {
+        if (ready_.empty())
+            stepFatal("simulation deadlock:\n" << deadlockReport());
+        Context* ctx = ready_.top().ctx;
+        ready_.pop();
+        if (ctx->state_ != CtxState::Ready)
+            continue; // stale queue entry
+        ctx->state_ = CtxState::Running;
+        ctx->task_.resume();
+        if (ctx->task_.done()) {
+            if (auto ex = ctx->task_.exception())
+                std::rethrow_exception(ex);
+            ctx->state_ = CtxState::Finished;
+            ++finished_;
+        } else if (ctx->state_ == CtxState::Running) {
+            // Suspended without blocking (shouldn't happen: every
+            // suspension point marks Blocked or yields).
+            stepPanic("context " << ctx->name()
+                      << " suspended in Running state");
+        }
+    }
+}
+
+Cycle
+Scheduler::elapsed() const
+{
+    Cycle t = 0;
+    for (const Context* c : contexts_)
+        t = std::max(t, c->now());
+    return t;
+}
+
+std::string
+Scheduler::deadlockReport() const
+{
+    std::ostringstream os;
+    for (const Context* c : contexts_) {
+        if (c->state_ != CtxState::Finished) {
+            os << "  [" << c->name() << "] t=" << c->now() << " blocked on "
+               << (c->blockReason_.empty() ? "<unknown>" : c->blockReason_)
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace step::dam

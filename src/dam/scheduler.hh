@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cooperative scheduler for simulation contexts. Resumes the runnable
+ * context with the smallest local clock, which keeps context clocks close
+ * together (important for shared-resource contention modeling and for
+ * availability-ordered merges) and makes runs deterministic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "dam/context.hh"
+
+namespace step::dam {
+
+class Scheduler
+{
+  public:
+    Scheduler() = default;
+
+    /** Register a context. The scheduler does not take ownership. */
+    void add(Context* ctx);
+
+    /**
+     * Run until every context finishes. Throws FatalError with a blocked-
+     * context report on deadlock, and PanicError if a context body threw.
+     */
+    void run();
+
+    /** Makespan: max local clock over all contexts after run(). */
+    Cycle elapsed() const;
+
+    /** Wake a blocked context (channel push/pop side effects). */
+    void makeReady(Context* ctx);
+
+    /** Requeue the currently running context (used by Yield). */
+    void yieldRunning(Context* ctx);
+
+    /** Smallest clock among ready contexts other than @p self. */
+    Cycle minReadyClock(const Context* self) const;
+
+    size_t numContexts() const { return contexts_.size(); }
+
+  private:
+    void enqueue(Context* ctx);
+    std::string deadlockReport() const;
+
+    struct QEntry
+    {
+        Cycle time;
+        uint64_t seq;
+        Context* ctx;
+        bool
+        operator>(const QEntry& o) const
+        {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    std::vector<Context*> contexts_;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> ready_;
+    uint64_t seq_ = 0;
+    size_t finished_ = 0;
+};
+
+} // namespace step::dam

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Coroutine task type for simulation contexts. Each operator's body is a
+ * C++20 coroutine returning SimTask; it suspends on channel reads/writes
+ * and is resumed by the Scheduler. This mirrors the Dataflow Abstract
+ * Machine execution model [Zhang et al., ISCA'24] that the paper's Rust
+ * simulator builds on: asynchronously executing blocks with local virtual
+ * time, communicating through timestamped FIFOs.
+ */
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace step::dam {
+
+/** Simulation time in cycles. */
+using Cycle = uint64_t;
+
+class SimTask
+{
+  public:
+    struct promise_type
+    {
+        SimTask
+        get_return_object()
+        {
+            return SimTask(Handle::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void
+        unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+
+        std::exception_ptr exception;
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    SimTask() = default;
+    explicit SimTask(Handle h) : handle_(h) {}
+    SimTask(SimTask&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+    SimTask&
+    operator=(SimTask&& o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+    SimTask(const SimTask&) = delete;
+    SimTask& operator=(const SimTask&) = delete;
+    ~SimTask() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+    void resume() { handle_.resume(); }
+
+    /** Exception escaped from the coroutine body, if any. */
+    std::exception_ptr
+    exception() const
+    {
+        return handle_ ? handle_.promise().exception : nullptr;
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_;
+};
+
+} // namespace step::dam

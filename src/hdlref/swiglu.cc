@@ -1,0 +1,198 @@
+#include "hdlref/swiglu.hh"
+
+#include "ops/higher_order.hh"
+#include "ops/offchip.hh"
+#include "ops/shape_ops.hh"
+#include "ops/source_sink.hh"
+#include "support/error.hh"
+
+namespace step {
+
+int64_t
+swigluTrafficBytes(const SwigluConfig& c)
+{
+    int64_t groups = c.batch / c.batchTile;
+    int64_t cols = c.inter / c.interTile;
+    int64_t x_bytes = groups * c.batchTile * c.hidden * 2;
+    // W1 and W3 column tiles are re-streamed for every batch group.
+    int64_t w_bytes = groups * cols * (c.hidden * c.interTile * 2) * 2;
+    int64_t out_bytes = groups * cols * (c.batchTile * c.interTile * 2);
+    return x_bytes + w_bytes + out_bytes;
+}
+
+// ---------------------------------------------------------------------
+// Cycle-level reference model
+// ---------------------------------------------------------------------
+
+SwigluResult
+simulateSwigluHdl(const SwigluConfig& c)
+{
+    STEP_ASSERT(c.batch % c.batchTile == 0 &&
+                c.inter % c.interTile == 0 &&
+                c.hidden % c.computeTile == 0,
+                "tile sizes must divide tensor dims");
+    HbmBankModel dram(c.hbm);
+
+    const int64_t groups = c.batch / c.batchTile;
+    const int64_t cols = c.inter / c.interTile;
+    const int64_t x_tile_bytes = c.batchTile * c.hidden * 2;
+    const int64_t w_tile_bytes = c.hidden * c.interTile * 2;
+    const int64_t o_tile_bytes = c.batchTile * c.interTile * 2;
+
+    // Hierarchical tiling (appendix B.2): each logical tile op maps onto
+    // 16x16 physical tiles at initiation interval 1, so a logical
+    // [bt,H]x[H,it] matmul occupies (bt/16)*(H/16)*(it/16) cycles on its
+    // dedicated compute unit; mm1 and mm3 run on parallel units, the
+    // silu*mul pipe consumes (bt/16)*(it/16) tiles at II=1.
+    auto ceil16 = [&](int64_t v) {
+        return (v + c.computeTile - 1) / c.computeTile;
+    };
+    const int64_t mac_cycles = ceil16(c.batchTile) * ceil16(c.hidden) *
+                               ceil16(c.interTile);
+    const int64_t act_cycles = ceil16(c.batchTile) * ceil16(c.interTile);
+    // Scratchpad port: the compute unit reads its operands at onChipBw.
+    const int64_t mem_cycles =
+        (x_tile_bytes + w_tile_bytes + c.onChipBw - 1) / c.onChipBw;
+    const int64_t compute_cycles =
+        std::max({mac_cycles, act_cycles, mem_cycles});
+
+    // Double-buffered pipeline schedule. Work items are (group, col)
+    // pairs in row-major order. Addresses: X | W1 | W3 | OUT regions.
+    const uint64_t x_base = 0;
+    const uint64_t w1_base = uint64_t{1} << 28;
+    const uint64_t w3_base = uint64_t{1} << 29;
+    const uint64_t out_base = uint64_t{1} << 30;
+
+    std::vector<dam::Cycle> compute_done; // per work item
+    dam::Cycle load_free = 0;     // DMA engine issue serialization
+    dam::Cycle compute_free = 0;  // compute unit availability
+    dam::Cycle store_free = 0;    // store DMA
+    dam::Cycle last_write = 0;
+    dam::Cycle x_ready = 0;
+    int64_t item = 0;
+
+    for (int64_t i = 0; i < groups; ++i) {
+        // Load this group's X tile once (double buffered against the
+        // previous group's compute).
+        dam::Cycle x_issue = load_free;
+        if (item >= 2)
+            x_issue = std::max(x_issue,
+                               compute_done[static_cast<size_t>(item - 2)]);
+        x_ready = dram.access(
+            x_base + static_cast<uint64_t>(i * x_tile_bytes),
+            x_tile_bytes, x_issue, false);
+        load_free = x_issue + x_tile_bytes / c.onChipBw + 1;
+
+        for (int64_t j = 0; j < cols; ++j, ++item) {
+            dam::Cycle w_issue = load_free;
+            if (item >= 2) {
+                w_issue = std::max(
+                    w_issue, compute_done[static_cast<size_t>(item - 2)]);
+            }
+            uint64_t woff = static_cast<uint64_t>(
+                (i * cols + j) % (cols * groups)) *
+                static_cast<uint64_t>(w_tile_bytes);
+            dam::Cycle w1_ready = dram.access(w1_base + woff, w_tile_bytes,
+                                              w_issue, false);
+            dam::Cycle w3_ready = dram.access(w3_base + woff, w_tile_bytes,
+                                              w_issue, false);
+            load_free = w_issue + 2 * w_tile_bytes / c.onChipBw + 1;
+
+            dam::Cycle start = std::max(
+                {x_ready, w1_ready, w3_ready, compute_free});
+            dam::Cycle done = start +
+                static_cast<dam::Cycle>(compute_cycles);
+            compute_free = done;
+            compute_done.push_back(done);
+
+            dam::Cycle st_issue = std::max(done, store_free);
+            dam::Cycle st_done = dram.access(
+                out_base + static_cast<uint64_t>(item * o_tile_bytes),
+                o_tile_bytes, st_issue, true);
+            store_free = st_issue + o_tile_bytes / c.onChipBw + 1;
+            last_write = std::max(last_write, st_done);
+        }
+    }
+    return SwigluResult{last_write, dram.stats().totalBytes()};
+}
+
+// ---------------------------------------------------------------------
+// STeP graph for the same design
+// ---------------------------------------------------------------------
+
+void
+buildSwigluGraph(Graph& g, const SwigluConfig& c)
+{
+    const int64_t groups = c.batch / c.batchTile;
+    const int64_t cols = c.inter / c.interTile;
+
+    // One trigger per batch group.
+    std::vector<Token> trig;
+    for (int64_t i = 0; i < groups; ++i)
+        trig.push_back(Token::data(Tile::withData(
+            1, 1, {static_cast<float>(i)}, 1)));
+    trig.push_back(Token::done());
+    auto& ref = g.add<SourceOp>("swiglu.ref", std::move(trig),
+                                StreamShape({Dim::fixed(groups)}),
+                                DataType::tile(1, 1, 1));
+    auto& refbc = g.add<BroadcastOp>("swiglu.refbc", ref.out(), 3);
+
+    // X: one [bt, H] tile per group.
+    OffChipTensor xt = OffChipTensor::shapeOnly(
+        0, c.batch, c.hidden, c.batchTile, c.hidden);
+    auto& xload = g.add<RandomOffChipLoadOp>("swiglu.x", refbc.out(0), xt,
+                                             xt.tileBytes());
+    // Per group, stream all W1/W3 column tiles.
+    OffChipTensor w1t = OffChipTensor::shapeOnly(
+        uint64_t{1} << 28, c.hidden, c.inter, c.hidden, c.interTile);
+    OffChipTensor w3t = OffChipTensor::shapeOnly(
+        uint64_t{1} << 29, c.hidden, c.inter, c.hidden, c.interTile);
+    auto& w1load = g.add<LinearOffChipLoadOp>(
+        "swiglu.w1", refbc.out(1), w1t, std::array<int64_t, 2>{cols, 1},
+        std::array<int64_t, 2>{1, cols});
+    auto& w3load = g.add<LinearOffChipLoadOp>(
+        "swiglu.w3", refbc.out(2), w3t, std::array<int64_t, 2>{cols, 1},
+        std::array<int64_t, 2>{1, cols});
+    auto& w1f = g.add<FlattenOp>("swiglu.w1f", w1load.out(), 0, 1);
+    auto& w3f = g.add<FlattenOp>("swiglu.w3f", w3load.out(), 0, 1);
+
+    // Broadcast each X tile across the column tiles.
+    auto& xrep = g.add<RepeatOp>("swiglu.xrep", xload.out(), cols);
+    auto& xbc = g.add<BroadcastOp>("swiglu.xbc", xrep.out(), 2);
+
+    // Compute bandwidth: one 16x16 MAC unit at II=1 -> 2*16^3 FLOPs per
+    // 16^3 MAC-tile cycle = 8192 FLOPs/cycle.
+    const int64_t mac_bw = 2 * c.computeTile * c.computeTile *
+                           c.computeTile;
+    auto& mm1 = g.add<MapOp>(
+        "swiglu.mm1", std::vector<StreamPort>{xbc.out(0), w1f.out()},
+        fns::matmul(), mac_bw, DataType::tile(c.batchTile, c.interTile));
+    mm1.setMatmulMemSpec(1);
+    auto& mm3 = g.add<MapOp>(
+        "swiglu.mm3", std::vector<StreamPort>{xbc.out(1), w3f.out()},
+        fns::matmul(), mac_bw, DataType::tile(c.batchTile, c.interTile));
+    mm3.setMatmulMemSpec(1);
+    auto& act = g.add<MapOp>(
+        "swiglu.act", std::vector<StreamPort>{mm1.out(), mm3.out()},
+        fns::swigluFn(), mac_bw,
+        DataType::tile(c.batchTile, c.interTile));
+    g.add<LinearOffChipStoreOp>("swiglu.store", act.out(),
+                                uint64_t{1} << 30);
+}
+
+SwigluResult
+simulateSwigluStep(const SwigluConfig& c)
+{
+    SimConfig sc;
+    sc.onChipBwBytesPerCycle = c.onChipBw;
+    // Double buffering, matching the HDL design and the x2 factor in
+    // the section-4.2 on-chip memory equations.
+    sc.channelCapacity = 2;
+    Graph g(sc);
+    g.setMemModel(std::make_unique<HbmBankModel>(c.hbm));
+    buildSwigluGraph(g, c);
+    SimResult r = g.run();
+    return SwigluResult{r.cycles, r.offChipBytes};
+}
+
+} // namespace step

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure-8 validation substrate (section 4.5). The paper validates the
+ * cycle-approximate STeP simulator against a cycle-accurate Bluespec HDL
+ * implementation of a SwiGLU layer mapped at 16x16 compute-tile
+ * granularity. This module provides both sides of that comparison:
+ *
+ *  - simulateSwigluHdl(): an independent cycle-level reference model —
+ *    a double-buffered load/compute/store pipeline schedule computed
+ *    with cycle-exact recurrences over the HBM bank model, mirroring the
+ *    mapped HDL design (hierarchical tiling to 16x16 physical tiles,
+ *    II=1 MACs, 256 B/cycle scratchpad ports);
+ *  - buildSwigluGraph(): the same computation as a STeP graph for the
+ *    cycle-approximate simulator.
+ *
+ * The benchmark sweeps tile sizes and reports both cycle counts and
+ * off-chip traffic plus their Pearson correlation.
+ */
+#pragma once
+
+#include "mem/dram.hh"
+#include "ops/graph.hh"
+
+namespace step {
+
+struct SwigluConfig
+{
+    int64_t batch = 64;        ///< full batch dimension
+    int64_t hidden = 256;      ///< full hidden dimension
+    int64_t inter = 512;       ///< full MoE intermediate dimension
+    int64_t batchTile = 16;    ///< tile size along batch
+    int64_t interTile = 16;    ///< tile size along intermediate
+    int64_t onChipBw = 256;    ///< scratchpad bytes/cycle (section 4.5)
+    int64_t computeTile = 16;  ///< physical compute-tile edge
+    HbmConfig hbm;             ///< HBM2 8-stack configuration
+};
+
+struct SwigluResult
+{
+    dam::Cycle cycles = 0;
+    int64_t offChipBytes = 0;
+};
+
+/** Cycle-level reference ("HDL") model. */
+SwigluResult simulateSwigluHdl(const SwigluConfig& cfg);
+
+/**
+ * STeP graph for the same mapped design; returns after wiring the graph
+ * (including the final off-chip store) into @p g.
+ */
+void buildSwigluGraph(Graph& g, const SwigluConfig& cfg);
+
+/** Run the STeP side with matched memory configuration. */
+SwigluResult simulateSwigluStep(const SwigluConfig& cfg);
+
+/** Analytic off-chip traffic (both models must match this). */
+int64_t swigluTrafficBytes(const SwigluConfig& cfg);
+
+} // namespace step

@@ -1,0 +1,70 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace step {
+
+HbmBankModel::HbmBankModel(HbmConfig cfg) : cfg_(cfg)
+{
+    STEP_ASSERT(cfg_.numChannels > 0 && cfg_.banksPerChannel > 0,
+                "bad HBM geometry");
+    channelFree_.assign(static_cast<size_t>(cfg_.numChannels), 0);
+    banks_.assign(
+        static_cast<size_t>(cfg_.numChannels * cfg_.banksPerChannel),
+        Bank{});
+}
+
+dam::Cycle
+HbmBankModel::access(uint64_t addr, int64_t bytes, dam::Cycle issue,
+                     bool is_write)
+{
+    STEP_ASSERT(bytes > 0, "zero-byte DRAM access");
+    dam::Cycle complete = issue;
+    // Split the access into channel-interleaved bursts. Each burst is
+    // serialized on its channel's data bus and pays bank timing.
+    for (int64_t off = 0; off < bytes; off += cfg_.burstBytes) {
+        uint64_t a = addr + static_cast<uint64_t>(off);
+        auto chan = static_cast<size_t>(
+            (a / static_cast<uint64_t>(cfg_.interleaveBytes)) %
+            static_cast<uint64_t>(cfg_.numChannels));
+        uint64_t chan_local =
+            a / (static_cast<uint64_t>(cfg_.interleaveBytes) *
+                 static_cast<uint64_t>(cfg_.numChannels));
+        auto bank_idx = static_cast<size_t>(
+            (chan_local / static_cast<uint64_t>(cfg_.rowBytes)) %
+            static_cast<uint64_t>(cfg_.banksPerChannel));
+        int64_t row = static_cast<int64_t>(
+            chan_local / (static_cast<uint64_t>(cfg_.rowBytes) *
+                          static_cast<uint64_t>(cfg_.banksPerChannel)));
+
+        Bank& bank = banks_[chan * static_cast<size_t>(
+            cfg_.banksPerChannel) + bank_idx];
+        dam::Cycle start = std::max(issue, bank.nextReady);
+
+        dam::Cycle ready = start;
+        if (bank.openRow != row) {
+            // Row miss: precharge (if a row is open) then activate.
+            if (bank.openRow >= 0)
+                ready += cfg_.tRP;
+            ready += cfg_.tRCD;
+            bank.openRow = row;
+            ++rowMisses_;
+        } else {
+            ++rowHits_;
+        }
+        // Column access latency (tCL) pipelines with the data bus; the
+        // bus itself is occupied tBurst cycles per burst.
+        dam::Cycle data_start = std::max(ready + cfg_.tCL,
+                                         channelFree_[chan]);
+        dam::Cycle data_end = data_start + cfg_.tBurst;
+        channelFree_[chan] = data_end;
+        bank.nextReady = ready + cfg_.tBurst;
+        complete = std::max(complete, data_end);
+    }
+    stats_.record(bytes, is_write, issue, complete);
+    return complete;
+}
+
+} // namespace step

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * HBM-style DRAM timing model: multiple channels with address
+ * interleaving, banks with open-row policy, and the first-order timing
+ * parameters (tRP, tRCD, tCL, burst time). This plays the role of the
+ * Ramulator 2.0 node in the paper's simulator: it serializes requests per
+ * channel and charges row activate/precharge penalties, which is what the
+ * tile-size sweep in the validation study (Figure 8) is sensitive to.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem_model.hh"
+
+namespace step {
+
+struct HbmConfig
+{
+    int numChannels = 8;        ///< pseudo-channels (8-stack HBM2 setup)
+    int banksPerChannel = 16;
+    int64_t rowBytes = 1024;    ///< row buffer size per bank
+    int64_t burstBytes = 32;    ///< bytes transferred per burst
+    dam::Cycle tBurst = 2;      ///< cycles per burst (tCCD)
+    dam::Cycle tRP = 14;        ///< precharge
+    dam::Cycle tRCD = 14;       ///< activate-to-access
+    dam::Cycle tCL = 14;        ///< access latency
+    int64_t interleaveBytes = 256; ///< channel-interleave granularity
+
+    /** Peak bandwidth in bytes/cycle (all channels streaming bursts). */
+    int64_t
+    peakBytesPerCycle() const
+    {
+        return numChannels * burstBytes /
+               static_cast<int64_t>(tBurst ? tBurst : 1);
+    }
+};
+
+class HbmBankModel : public MemModel
+{
+  public:
+    explicit HbmBankModel(HbmConfig cfg = {});
+
+    dam::Cycle access(uint64_t addr, int64_t bytes, dam::Cycle issue,
+                      bool is_write) override;
+
+    const HbmConfig& config() const { return cfg_; }
+
+    uint64_t rowHits() const { return rowHits_; }
+    uint64_t rowMisses() const { return rowMisses_; }
+
+  private:
+    struct Bank
+    {
+        int64_t openRow = -1;
+        dam::Cycle nextReady = 0;
+    };
+
+    HbmConfig cfg_;
+    std::vector<dam::Cycle> channelFree_;
+    std::vector<Bank> banks_; // [channel * banksPerChannel + bank]
+    uint64_t rowHits_ = 0;
+    uint64_t rowMisses_ = 0;
+};
+
+} // namespace step

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Off-chip memory timing models. The STeP simulator integrates off-chip
+ * access delays through a pluggable model (the paper uses Ramulator 2.0;
+ * section 4.4 notes the node can be reconfigured or replaced). Two
+ * implementations:
+ *
+ *  - SimpleBwModel: aggregate bandwidth + fixed latency, matching the
+ *    evaluation configuration (1024 bytes/cycle, section 5.1).
+ *  - HbmBankModel (mem/dram.hh): channel/bank/row timing for the
+ *    validation study.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dam/task.hh"
+
+namespace step {
+
+/** Aggregated traffic/timing statistics for one memory device. */
+struct MemStats
+{
+    int64_t bytesRead = 0;
+    int64_t bytesWritten = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    dam::Cycle firstIssue = ~dam::Cycle{0};
+    dam::Cycle lastComplete = 0;
+
+    int64_t totalBytes() const { return bytesRead + bytesWritten; }
+
+    void
+    record(int64_t bytes, bool is_write, dam::Cycle issue,
+           dam::Cycle complete)
+    {
+        if (is_write) {
+            bytesWritten += bytes;
+            ++writes;
+        } else {
+            bytesRead += bytes;
+            ++reads;
+        }
+        if (issue < firstIssue)
+            firstIssue = issue;
+        if (complete > lastComplete)
+            lastComplete = complete;
+    }
+};
+
+class MemModel
+{
+  public:
+    virtual ~MemModel() = default;
+
+    /**
+     * Model one access. Returns the completion cycle. Implementations
+     * serialize accesses on internal resources (channels/banks), so the
+     * returned time reflects contention between operators.
+     */
+    virtual dam::Cycle access(uint64_t addr, int64_t bytes,
+                              dam::Cycle issue, bool is_write) = 0;
+
+    const MemStats& stats() const { return stats_; }
+    void resetStats() { stats_ = MemStats{}; }
+
+  protected:
+    MemStats stats_;
+};
+
+/**
+ * Bandwidth/latency queueing model: one shared port of `bw` bytes/cycle
+ * and a pipelined access latency.
+ */
+class SimpleBwModel : public MemModel
+{
+  public:
+    SimpleBwModel(int64_t bytes_per_cycle, dam::Cycle latency)
+        : bw_(bytes_per_cycle), latency_(latency)
+    {}
+
+    dam::Cycle
+    access(uint64_t addr, int64_t bytes, dam::Cycle issue,
+           bool is_write) override
+    {
+        (void)addr;
+        // Byte-granular port accounting (in units of bytes-time =
+        // cycles * bw) so sub-cycle accesses don't serialize to one
+        // access per cycle.
+        uint64_t issue_units = issue * static_cast<uint64_t>(bw_);
+        uint64_t start_units = std::max(busyUnits_, issue_units);
+        busyUnits_ = start_units + static_cast<uint64_t>(bytes);
+        dam::Cycle complete = static_cast<dam::Cycle>(
+            (busyUnits_ + static_cast<uint64_t>(bw_) - 1) /
+            static_cast<uint64_t>(bw_)) + latency_;
+        stats_.record(bytes, is_write, issue, complete);
+        return complete;
+    }
+
+    int64_t bandwidth() const { return bw_; }
+
+  private:
+    int64_t bw_;
+    dam::Cycle latency_;
+    uint64_t busyUnits_ = 0; // port-busy horizon in byte-time
+};
+
+} // namespace step

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared infrastructure for STeP operator implementations: the simulation
+ * configuration, stream ports (channel + symbolic shape + dtype), and the
+ * operator base class combining a DAM context with the section-4.2 metric
+ * interface.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/codec.hh"
+#include "core/dtype.hh"
+#include "core/stream_shape.hh"
+#include "core/token.hh"
+#include "dam/channel.hh"
+#include "dam/context.hh"
+#include "symbolic/expr.hh"
+
+namespace step {
+
+class Graph;
+
+/** Timing parameters shared by all operators (section 5.1 defaults). */
+struct SimConfig
+{
+    /** Per-unit on-chip memory bandwidth in bytes/cycle. */
+    int64_t onChipBwBytesPerCycle = 64;
+    /** Off-chip aggregate bandwidth for the SimpleBwModel default. */
+    int64_t offChipBwBytesPerCycle = 1024;
+    /** Off-chip access latency for the SimpleBwModel default. */
+    dam::Cycle offChipLatency = 64;
+    /** Hardware FIFO depth. */
+    size_t channelCapacity = 8;
+    /** FIFO forwarding latency. */
+    dam::Cycle channelLatency = 1;
+};
+
+/** One end of a stream: the channel plus its compile-time view. */
+struct StreamPort
+{
+    dam::Channel* ch = nullptr;
+    StreamShape shape;
+    DataType dtype;
+
+    size_t rank() const { return shape.rank(); }
+
+    /** Listing-1 style shape override (e.g. after Reassemble). */
+    StreamPort
+    withShape(StreamShape s) const
+    {
+        return StreamPort{ch, std::move(s), dtype};
+    }
+};
+
+/**
+ * Base class for every STeP operator. An operator is a DAM context (its
+ * run() coroutine implements the streaming semantics and the timing
+ * model) plus the static metric expressions of section 4.2.
+ */
+class OpBase : public dam::Context
+{
+  public:
+    OpBase(Graph& g, std::string name);
+
+    /** Off-chip traffic in bytes (zero except off-chip operators). */
+    virtual sym::Expr offChipTrafficExpr() const { return sym::Expr(0); }
+
+    /** On-chip memory requirement in bytes (section 4.2 equations). */
+    virtual sym::Expr onChipMemExpr() const { return sym::Expr(0); }
+
+    /** Compute bandwidth allocated to this operator (FLOPs/cycle). */
+    virtual int64_t allocatedComputeBw() const { return 0; }
+
+    // Runtime measurements, populated during simulation.
+    int64_t measuredFlops() const { return flops_; }
+    int64_t measuredOnChipPeakBytes() const { return onChipPeak_; }
+    uint64_t processedElements() const { return elements_; }
+    dam::Cycle busyCycles() const { return busy_; }
+
+    Graph& graph() const { return graph_; }
+
+  protected:
+    /** advance() that also accrues busy-cycle statistics. */
+    void
+    busyAdvance(dam::Cycle dt)
+    {
+        busy_ += dt;
+        advance(dt);
+    }
+
+    /** Roofline cycles for one element (section 4.3 equation). */
+    dam::Cycle rooflineCycles(int64_t in_bytes, int64_t flops,
+                              int64_t out_bytes, int64_t compute_bw,
+                              bool in_via_memory,
+                              bool out_via_memory) const;
+
+    Graph& graph_;
+    int64_t flops_ = 0;
+    int64_t onChipPeak_ = 0;
+    uint64_t elements_ = 0;
+    dam::Cycle busy_ = 0;
+};
+
+/** Emit every token of a StopCoalescer result (coroutine bodies only). */
+#define STEP_EMIT(chan, toks)                                                \
+    for (auto& _step_tok : (toks))                                           \
+        co_await (chan)->write(*this, std::move(_step_tok))
+
+/** Emit a single raw token. */
+#define STEP_EMIT_RAW(chan, tok) co_await (chan)->write(*this, (tok))
+
+} // namespace step

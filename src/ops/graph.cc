@@ -1,0 +1,90 @@
+#include "ops/graph.hh"
+
+#include "support/error.hh"
+
+namespace step {
+
+OpBase::OpBase(Graph& g, std::string name)
+    : dam::Context(std::move(name)), graph_(g)
+{}
+
+dam::Cycle
+OpBase::rooflineCycles(int64_t in_bytes, int64_t flops, int64_t out_bytes,
+                       int64_t compute_bw, bool in_via_memory,
+                       bool out_via_memory) const
+{
+    const SimConfig& cfg = graph_.config();
+    int64_t cycles = 0;
+    if (in_via_memory)
+        cycles = std::max(cycles, (in_bytes + cfg.onChipBwBytesPerCycle - 1)
+                          / cfg.onChipBwBytesPerCycle);
+    if (out_via_memory)
+        cycles = std::max(cycles, (out_bytes + cfg.onChipBwBytesPerCycle - 1)
+                          / cfg.onChipBwBytesPerCycle);
+    if (compute_bw > 0)
+        cycles = std::max(cycles, (flops + compute_bw - 1) / compute_bw);
+    return static_cast<dam::Cycle>(cycles);
+}
+
+Graph::Graph(SimConfig cfg)
+    : cfg_(cfg),
+      mem_(std::make_unique<SimpleBwModel>(cfg.offChipBwBytesPerCycle,
+                                           cfg.offChipLatency))
+{}
+
+Graph::~Graph() = default;
+
+dam::Channel&
+Graph::makeChannel(const std::string& name, size_t capacity_override)
+{
+    channels_.push_back(std::make_unique<dam::Channel>(
+        name, capacity_override ? capacity_override : cfg_.channelCapacity,
+        cfg_.channelLatency));
+    return *channels_.back();
+}
+
+sym::Expr
+Graph::offChipTrafficExpr() const
+{
+    sym::Expr total;
+    for (const auto& op : ops_)
+        total += op->offChipTrafficExpr();
+    return total;
+}
+
+sym::Expr
+Graph::onChipMemExpr() const
+{
+    sym::Expr total;
+    for (const auto& op : ops_)
+        total += op->onChipMemExpr();
+    return total;
+}
+
+SimResult
+Graph::run()
+{
+    STEP_ASSERT(!ran_, "Graph::run() called twice");
+    ran_ = true;
+
+    dam::Scheduler sched;
+    for (auto& op : ops_)
+        sched.add(op.get());
+    sched.run();
+
+    SimResult res;
+    res.cycles = sched.elapsed();
+    const MemStats& ms = mem_->stats();
+    res.offChipReadBytes = ms.bytesRead;
+    res.offChipWriteBytes = ms.bytesWritten;
+    res.offChipBytes = ms.totalBytes();
+    res.onChipPeakBytes = spad_.peakAllocatedBytes() + spad_.peakMetaBytes();
+    for (const auto& op : ops_) {
+        res.totalFlops += op->measuredFlops();
+        res.allocatedComputeBw += op->allocatedComputeBw();
+        res.onChipPeakBytes += op->measuredOnChipPeakBytes();
+    }
+    return res;
+}
+
+} // namespace step

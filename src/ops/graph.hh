@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The STeP program graph: owns operators, channels, and the shared memory
+ * resources (off-chip model + scratchpad), provides the builder API used
+ * by workloads (the C++ analog of the symbolic Python frontend of
+ * section 4.1), aggregates the symbolic metrics of section 4.2, and runs
+ * the cycle-approximate simulation of section 4.3.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dam/scheduler.hh"
+#include "mem/mem_model.hh"
+#include "mem/scratchpad.hh"
+#include "ops/common.hh"
+
+namespace step {
+
+/** Result of one simulation run. */
+struct SimResult
+{
+    dam::Cycle cycles = 0;            ///< makespan over all contexts
+    int64_t offChipBytes = 0;         ///< achieved off-chip traffic
+    int64_t offChipReadBytes = 0;
+    int64_t offChipWriteBytes = 0;
+    int64_t onChipPeakBytes = 0;      ///< scratchpad + operator state peak
+    int64_t totalFlops = 0;           ///< useful FLOPs executed
+    int64_t allocatedComputeBw = 0;   ///< sum of per-op compute bandwidth
+
+    /** Fraction of allocated compute doing useful work. */
+    double
+    computeUtilization() const
+    {
+        if (!cycles || !allocatedComputeBw)
+            return 0.0;
+        return static_cast<double>(totalFlops) /
+               (static_cast<double>(cycles) *
+                static_cast<double>(allocatedComputeBw));
+    }
+
+    /** Fraction of off-chip bandwidth used, given bytes/cycle peak. */
+    double
+    offChipBwUtilization(int64_t peak_bytes_per_cycle) const
+    {
+        if (!cycles || !peak_bytes_per_cycle)
+            return 0.0;
+        return static_cast<double>(offChipBytes) /
+               (static_cast<double>(cycles) *
+                static_cast<double>(peak_bytes_per_cycle));
+    }
+};
+
+class Graph
+{
+  public:
+    explicit Graph(SimConfig cfg = {});
+    ~Graph();
+
+    Graph(const Graph&) = delete;
+    Graph& operator=(const Graph&) = delete;
+
+    const SimConfig& config() const { return cfg_; }
+
+    /** Construct and register an operator. */
+    template <typename OpT, typename... Args>
+    OpT&
+    add(Args&&... args)
+    {
+        auto op = std::make_unique<OpT>(*this, std::forward<Args>(args)...);
+        OpT& ref = *op;
+        ops_.push_back(std::move(op));
+        return ref;
+    }
+
+    /** Create a channel owned by the graph. */
+    dam::Channel& makeChannel(const std::string& name,
+                              size_t capacity_override = 0);
+
+    /** Off-chip memory model (default: SimpleBwModel per SimConfig). */
+    MemModel& memModel() { return *mem_; }
+    void setMemModel(std::unique_ptr<MemModel> m) { mem_ = std::move(m); }
+
+    Scratchpad& scratchpad() { return spad_; }
+
+    /** Sum of per-operator off-chip traffic expressions (section 4.2). */
+    sym::Expr offChipTrafficExpr() const;
+    /** Sum of per-operator on-chip requirement expressions. */
+    sym::Expr onChipMemExpr() const;
+
+    /** Run the simulation; callable once per graph. */
+    SimResult run();
+
+    const std::vector<std::unique_ptr<OpBase>>& ops() const { return ops_; }
+
+  private:
+    SimConfig cfg_;
+    std::vector<std::unique_ptr<OpBase>> ops_;
+    std::vector<std::unique_ptr<dam::Channel>> channels_;
+    std::unique_ptr<MemModel> mem_;
+    Scratchpad spad_;
+    bool ran_ = false;
+};
+
+} // namespace step

@@ -1,0 +1,108 @@
+#include "ops/source_sink.hh"
+
+#include "support/error.hh"
+
+namespace step {
+
+SourceOp::SourceOp(Graph& g, const std::string& name,
+                   std::vector<Token> toks, StreamShape shape,
+                   DataType dtype, dam::Cycle ii)
+    : OpBase(g, name), toks_(std::move(toks)), ii_(ii)
+{
+    STEP_ASSERT(!toks_.empty() && toks_.back().isDone(),
+                "source stream must end in Done: " << name);
+    out_ = StreamPort{&g.makeChannel(name + ".out"), std::move(shape),
+                      std::move(dtype)};
+    out_.ch->setProducer(this);
+}
+
+dam::SimTask
+SourceOp::run()
+{
+    for (auto& t : toks_) {
+        busyAdvance(ii_);
+        STEP_EMIT_RAW(out_.ch, t);
+    }
+    co_return;
+}
+
+SinkOp::SinkOp(Graph& g, const std::string& name, StreamPort in,
+               bool capture)
+    : OpBase(g, name), in_(in), capture_(capture)
+{
+    in_.ch->setConsumer(this);
+}
+
+dam::SimTask
+SinkOp::run()
+{
+    while (true) {
+        Token t = co_await in_.ch->read(*this);
+        if (t.isData()) {
+            ++dataCount_;
+            ++elements_;
+        }
+        bool done = t.isDone();
+        if (capture_)
+            captured_.push_back(std::move(t));
+        if (done)
+            break;
+    }
+    finish_ = now();
+    co_return;
+}
+
+RelayOp::RelayOp(Graph& g, const std::string& name, StreamPort in,
+                 dam::Channel* target)
+    : OpBase(g, name), in_(in), target_(target)
+{
+    in_.ch->setConsumer(this);
+    target_->setProducer(this);
+}
+
+dam::SimTask
+RelayOp::run()
+{
+    while (true) {
+        Token t = co_await in_.ch->read(*this);
+        bool done = t.isDone();
+        if (t.isData())
+            ++elements_;
+        co_await target_->write(*this, std::move(t));
+        if (done)
+            break;
+    }
+    co_return;
+}
+
+BroadcastOp::BroadcastOp(Graph& g, const std::string& name, StreamPort in,
+                         size_t fanout)
+    : OpBase(g, name), in_(in)
+{
+    STEP_ASSERT(fanout >= 1, "broadcast fanout must be >= 1");
+    in_.ch->setConsumer(this);
+    for (size_t i = 0; i < fanout; ++i) {
+        StreamPort p{&g.makeChannel(name + ".out" + std::to_string(i)),
+                     in.shape, in.dtype};
+        p.ch->setProducer(this);
+        outs_.push_back(p);
+    }
+}
+
+dam::SimTask
+BroadcastOp::run()
+{
+    while (true) {
+        Token t = co_await in_.ch->read(*this);
+        bool done = t.isDone();
+        if (t.isData())
+            ++elements_;
+        for (auto& o : outs_)
+            STEP_EMIT_RAW(o.ch, t);
+        if (done)
+            break;
+    }
+    co_return;
+}
+
+} // namespace step

@@ -1,0 +1,92 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace step {
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0)
+        u1 = uniform();
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(mu + sigma * gaussian());
+}
+
+double
+Rng::gamma(double shape)
+{
+    STEP_ASSERT(shape > 0.0, "gamma shape must be positive");
+    if (shape < 1.0) {
+        // Boost to shape+1 and scale back (Marsaglia-Tsang trick).
+        double u = 0.0;
+        while (u == 0.0)
+            u = uniform();
+        return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    double d = shape - 1.0 / 3.0;
+    double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+        double x = gaussian();
+        double v = 1.0 + c * x;
+        if (v <= 0.0)
+            continue;
+        v = v * v * v;
+        double u = uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v;
+        if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return d * v;
+    }
+}
+
+std::vector<double>
+Rng::dirichlet(const std::vector<double>& alpha)
+{
+    std::vector<double> draws(alpha.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < alpha.size(); ++i) {
+        draws[i] = gamma(alpha[i]);
+        sum += draws[i];
+    }
+    if (sum <= 0.0)
+        sum = 1.0;
+    for (double& d : draws)
+        d /= sum;
+    return draws;
+}
+
+size_t
+Rng::categorical(const std::vector<double>& weights)
+{
+    STEP_ASSERT(!weights.empty(), "categorical over empty weights");
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace step

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Small statistics helpers shared by the benches and tests: means,
+ * standard deviation, geometric mean, and Pearson correlation (used to
+ * report the Figure-8 validation number).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace step {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double geomean(const std::vector<double>& xs);
+
+/** Pearson correlation coefficient; returns 0 for degenerate inputs. */
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+} // namespace step

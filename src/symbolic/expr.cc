@@ -1,0 +1,509 @@
+#include "symbolic/expr.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace step::sym {
+
+Expr makeAdd(std::vector<Expr> ts);
+Expr makeMul(std::vector<Expr> fs);
+
+/** Immutable expression node. */
+class ExprNode
+{
+  public:
+    Kind kind;
+    int64_t value = 0;            // Const
+    std::string name;             // Sym
+    std::vector<Expr> ops;        // compound kinds
+
+    static Expr
+    make(Kind k, int64_t v, std::string n, std::vector<Expr> o)
+    {
+        auto node = std::make_shared<ExprNode>();
+        node->kind = k;
+        node->value = v;
+        node->name = std::move(n);
+        node->ops = std::move(o);
+        return Expr(std::shared_ptr<const ExprNode>(std::move(node)));
+    }
+};
+
+namespace {
+
+Expr
+constant(int64_t c)
+{
+    return ExprNode::make(Kind::Const, c, {}, {});
+}
+
+int64_t
+ceilDivInt(int64_t a, int64_t b)
+{
+    STEP_ASSERT(b != 0, "ceilDiv by zero");
+    if ((a >= 0) == (b > 0))
+        return (a + (b > 0 ? b - 1 : b + 1)) / b;
+    return a / b;
+}
+
+int64_t
+floorDivInt(int64_t a, int64_t b)
+{
+    STEP_ASSERT(b != 0, "floorDiv by zero");
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+} // namespace
+
+Expr::Expr() : Expr(static_cast<int64_t>(0)) {}
+
+Expr::Expr(int64_t c) { *this = constant(c); }
+
+Expr
+Expr::sym(const std::string& name)
+{
+    return ExprNode::make(Kind::Sym, 0, name, {});
+}
+
+Kind Expr::kind() const { return node_->kind; }
+
+int64_t
+Expr::constValue() const
+{
+    STEP_ASSERT(isConst(), "constValue on non-const " << toString());
+    return node_->value;
+}
+
+const std::string&
+Expr::symName() const
+{
+    STEP_ASSERT(kind() == Kind::Sym, "symName on non-symbol");
+    return node_->name;
+}
+
+const std::vector<Expr>&
+Expr::operands() const
+{
+    return node_->ops;
+}
+
+int
+Expr::compare(const Expr& a, const Expr& b)
+{
+    if (a.node_ == b.node_)
+        return 0;
+    if (a.kind() != b.kind())
+        return a.kind() < b.kind() ? -1 : 1;
+    switch (a.kind()) {
+      case Kind::Const:
+        if (a.node_->value != b.node_->value)
+            return a.node_->value < b.node_->value ? -1 : 1;
+        return 0;
+      case Kind::Sym:
+        return a.node_->name.compare(b.node_->name);
+      default: {
+        const auto& ao = a.node_->ops;
+        const auto& bo = b.node_->ops;
+        if (ao.size() != bo.size())
+            return ao.size() < bo.size() ? -1 : 1;
+        for (size_t i = 0; i < ao.size(); ++i) {
+            int c = compare(ao[i], bo[i]);
+            if (c != 0)
+                return c;
+        }
+        return 0;
+      }
+    }
+}
+
+bool
+Expr::equals(const Expr& other) const
+{
+    return compare(*this, other) == 0;
+}
+
+// ---------------------------------------------------------------------
+// Normalizing constructors
+// ---------------------------------------------------------------------
+
+/**
+ * Build a normalized sum: flattens nested adds, folds constants, and
+ * combines like terms (x + 2*x -> 3*x).
+ */
+Expr
+makeAdd(std::vector<Expr> ts)
+{
+    // (term without constant factor, accumulated coefficient)
+    std::vector<std::pair<Expr, int64_t>> terms;
+    int64_t c = 0;
+
+    auto addTerm = [&](const Expr& base, int64_t coeff) {
+        for (auto& [t, k] : terms) {
+            if (t.equals(base)) {
+                k += coeff;
+                return;
+            }
+        }
+        terms.emplace_back(base, coeff);
+    };
+
+    // Split a (non-Add) expression into coeff * base.
+    auto split = [](const Expr& e) -> std::pair<Expr, int64_t> {
+        if (e.kind() == Kind::Mul) {
+            const auto& ops = e.operands();
+            if (!ops.empty() && ops[0].isConst()) {
+                std::vector<Expr> rest(ops.begin() + 1, ops.end());
+                if (rest.size() == 1)
+                    return {rest[0], ops[0].constValue()};
+                return {ExprNode::make(Kind::Mul, 0, {}, std::move(rest)),
+                        ops[0].constValue()};
+            }
+        }
+        return {e, 1};
+    };
+
+    std::vector<Expr> work = std::move(ts);
+    while (!work.empty()) {
+        Expr e = work.back();
+        work.pop_back();
+        if (e.kind() == Kind::Add) {
+            for (const auto& o : e.operands())
+                work.push_back(o);
+        } else if (e.isConst()) {
+            c += e.constValue();
+        } else {
+            auto [base, coeff] = split(e);
+            addTerm(base, coeff);
+        }
+    }
+
+    std::vector<Expr> out;
+    for (auto& [base, coeff] : terms) {
+        if (coeff == 0)
+            continue;
+        if (coeff == 1)
+            out.push_back(base);
+        else
+            out.push_back(makeMul({constant(coeff), base}));
+    }
+    if (c != 0 || out.empty())
+        out.push_back(constant(c));
+    if (out.size() == 1)
+        return out[0];
+    std::sort(out.begin(), out.end(), [](const Expr& a, const Expr& b) {
+        return Expr::compare(a, b) < 0;
+    });
+    return ExprNode::make(Kind::Add, 0, {}, std::move(out));
+}
+
+/**
+ * Build a normalized product: flattens, folds constants, annihilates on 0,
+ * drops unit factors; the constant (if any) sorts first.
+ */
+Expr
+makeMul(std::vector<Expr> fs)
+{
+    int64_t c = 1;
+    std::vector<Expr> out;
+    std::vector<Expr> work = std::move(fs);
+    while (!work.empty()) {
+        Expr e = work.back();
+        work.pop_back();
+        if (e.kind() == Kind::Mul) {
+            for (const auto& o : e.operands())
+                work.push_back(o);
+        } else if (e.isConst()) {
+            c *= e.constValue();
+        } else {
+            out.push_back(e);
+        }
+    }
+    if (c == 0)
+        return constant(0);
+    std::sort(out.begin(), out.end(), [](const Expr& a, const Expr& b) {
+        return Expr::compare(a, b) < 0;
+    });
+    if (out.empty())
+        return constant(c);
+    if (c != 1)
+        out.insert(out.begin(), constant(c));
+    if (out.size() == 1)
+        return out[0];
+    return ExprNode::make(Kind::Mul, 0, {}, std::move(out));
+}
+
+Expr
+operator+(const Expr& a, const Expr& b)
+{
+    return makeAdd({a, b});
+}
+
+Expr
+operator-(const Expr& a, const Expr& b)
+{
+    return makeAdd({a, makeMul({Expr(static_cast<int64_t>(-1)), b})});
+}
+
+Expr
+operator*(const Expr& a, const Expr& b)
+{
+    return makeMul({a, b});
+}
+
+Expr
+ceilDiv(const Expr& a, const Expr& b)
+{
+    if (a.isConst() && b.isConst())
+        return constant(ceilDivInt(a.constValue(), b.constValue()));
+    if (b.isConst() && b.constValue() == 1)
+        return a;
+    if (a.isConst() && a.constValue() == 0)
+        return constant(0);
+    return ExprNode::make(Kind::CeilDiv, 0, {}, {a, b});
+}
+
+Expr
+floorDiv(const Expr& a, const Expr& b)
+{
+    if (a.isConst() && b.isConst())
+        return constant(floorDivInt(a.constValue(), b.constValue()));
+    if (b.isConst() && b.constValue() == 1)
+        return a;
+    if (a.isConst() && a.constValue() == 0)
+        return constant(0);
+    return ExprNode::make(Kind::FloorDiv, 0, {}, {a, b});
+}
+
+Expr
+max(const Expr& a, const Expr& b)
+{
+    if (a.equals(b))
+        return a;
+    if (a.isConst() && b.isConst())
+        return constant(std::max(a.constValue(), b.constValue()));
+    std::vector<Expr> ops{a, b};
+    std::sort(ops.begin(), ops.end(), [](const Expr& x, const Expr& y) {
+        return Expr::compare(x, y) < 0;
+    });
+    return ExprNode::make(Kind::Max, 0, {}, std::move(ops));
+}
+
+Expr
+min(const Expr& a, const Expr& b)
+{
+    if (a.equals(b))
+        return a;
+    if (a.isConst() && b.isConst())
+        return constant(std::min(a.constValue(), b.constValue()));
+    std::vector<Expr> ops{a, b};
+    std::sort(ops.begin(), ops.end(), [](const Expr& x, const Expr& y) {
+        return Expr::compare(x, y) < 0;
+    });
+    return ExprNode::make(Kind::Min, 0, {}, std::move(ops));
+}
+
+Expr
+sum(const std::vector<Expr>& xs)
+{
+    return makeAdd(xs);
+}
+
+Expr
+product(const std::vector<Expr>& xs)
+{
+    if (xs.empty())
+        return Expr(static_cast<int64_t>(1));
+    return makeMul(xs);
+}
+
+// ---------------------------------------------------------------------
+// Evaluation / substitution
+// ---------------------------------------------------------------------
+
+std::optional<int64_t>
+Expr::tryEval(const Env& env) const
+{
+    switch (kind()) {
+      case Kind::Const:
+        return node_->value;
+      case Kind::Sym: {
+        auto it = env.find(node_->name);
+        if (it == env.end())
+            return std::nullopt;
+        return it->second;
+      }
+      case Kind::Add: {
+        int64_t acc = 0;
+        for (const auto& o : node_->ops) {
+            auto v = o.tryEval(env);
+            if (!v)
+                return std::nullopt;
+            acc += *v;
+        }
+        return acc;
+      }
+      case Kind::Mul: {
+        int64_t acc = 1;
+        for (const auto& o : node_->ops) {
+            auto v = o.tryEval(env);
+            if (!v)
+                return std::nullopt;
+            acc *= *v;
+        }
+        return acc;
+      }
+      case Kind::CeilDiv:
+      case Kind::FloorDiv: {
+        auto a = node_->ops[0].tryEval(env);
+        auto b = node_->ops[1].tryEval(env);
+        if (!a || !b)
+            return std::nullopt;
+        return kind() == Kind::CeilDiv ? ceilDivInt(*a, *b)
+                                       : floorDivInt(*a, *b);
+      }
+      case Kind::Max:
+      case Kind::Min: {
+        std::optional<int64_t> acc;
+        for (const auto& o : node_->ops) {
+            auto v = o.tryEval(env);
+            if (!v)
+                return std::nullopt;
+            if (!acc)
+                acc = *v;
+            else
+                acc = kind() == Kind::Max ? std::max(*acc, *v)
+                                          : std::min(*acc, *v);
+        }
+        return acc;
+      }
+    }
+    stepPanic("unreachable expression kind");
+}
+
+int64_t
+Expr::eval(const Env& env) const
+{
+    auto v = tryEval(env);
+    if (!v)
+        stepFatal("cannot evaluate `" << toString()
+                  << "`: unbound symbol(s)");
+    return *v;
+}
+
+Expr
+Expr::substitute(const Subst& s) const
+{
+    switch (kind()) {
+      case Kind::Const:
+        return *this;
+      case Kind::Sym: {
+        auto it = s.find(node_->name);
+        return it == s.end() ? *this : it->second;
+      }
+      case Kind::Add: {
+        std::vector<Expr> ops;
+        ops.reserve(node_->ops.size());
+        for (const auto& o : node_->ops)
+            ops.push_back(o.substitute(s));
+        return makeAdd(std::move(ops));
+      }
+      case Kind::Mul: {
+        std::vector<Expr> ops;
+        ops.reserve(node_->ops.size());
+        for (const auto& o : node_->ops)
+            ops.push_back(o.substitute(s));
+        return makeMul(std::move(ops));
+      }
+      case Kind::CeilDiv:
+        return ceilDiv(node_->ops[0].substitute(s),
+                       node_->ops[1].substitute(s));
+      case Kind::FloorDiv:
+        return floorDiv(node_->ops[0].substitute(s),
+                        node_->ops[1].substitute(s));
+      case Kind::Max:
+        return max(node_->ops[0].substitute(s),
+                   node_->ops[1].substitute(s));
+      case Kind::Min:
+        return min(node_->ops[0].substitute(s),
+                   node_->ops[1].substitute(s));
+    }
+    stepPanic("unreachable expression kind");
+}
+
+std::set<std::string>
+Expr::freeSymbols() const
+{
+    std::set<std::string> out;
+    if (kind() == Kind::Sym) {
+        out.insert(node_->name);
+        return out;
+    }
+    for (const auto& o : node_->ops) {
+        auto sub = o.freeSymbols();
+        out.insert(sub.begin(), sub.end());
+    }
+    return out;
+}
+
+std::string
+Expr::toString() const
+{
+    std::ostringstream os;
+    switch (kind()) {
+      case Kind::Const:
+        os << node_->value;
+        break;
+      case Kind::Sym:
+        os << node_->name;
+        break;
+      case Kind::Add: {
+        bool first = true;
+        for (const auto& o : node_->ops) {
+            if (!first)
+                os << " + ";
+            first = false;
+            os << o.toString();
+        }
+        break;
+      }
+      case Kind::Mul: {
+        bool first = true;
+        for (const auto& o : node_->ops) {
+            if (!first)
+                os << "*";
+            first = false;
+            bool paren = o.kind() == Kind::Add;
+            if (paren)
+                os << "(";
+            os << o.toString();
+            if (paren)
+                os << ")";
+        }
+        break;
+      }
+      case Kind::CeilDiv:
+        os << "ceil(" << node_->ops[0].toString() << ", "
+           << node_->ops[1].toString() << ")";
+        break;
+      case Kind::FloorDiv:
+        os << "floor(" << node_->ops[0].toString() << ", "
+           << node_->ops[1].toString() << ")";
+        break;
+      case Kind::Max:
+        os << "max(" << node_->ops[0].toString() << ", "
+           << node_->ops[1].toString() << ")";
+        break;
+      case Kind::Min:
+        os << "min(" << node_->ops[0].toString() << ", "
+           << node_->ops[1].toString() << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace step::sym

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A small symbolic-integer expression engine, standing in for the SymPy
+ * layer of the paper's symbolic frontend (section 4.2).
+ *
+ * Expressions are immutable DAGs of:
+ *   Const(c) | Sym(name) | Add(ts...) | Mul(fs...) | CeilDiv(a,b)
+ *   | FloorDiv(a,b) | Max(xs...) | Min(xs...)
+ *
+ * Construction normalizes: constants fold, nested adds/muls flatten, like
+ * terms combine, operands sort into a canonical order so structural
+ * equality is meaningful. Expressions support substitution (symbol ->
+ * expression) and full evaluation against an integer environment; dynamic
+ * dims are symbols that the simulator or the user later binds (section
+ * 4.2, "Handling data dependencies").
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace step::sym {
+
+enum class Kind { Const, Sym, Add, Mul, CeilDiv, FloorDiv, Max, Min };
+
+class ExprNode;
+
+/** Value-semantics handle to an immutable expression node. */
+class Expr
+{
+  public:
+    /** Default: the constant 0. */
+    Expr();
+    /** Constant expression. */
+    Expr(int64_t c); // NOLINT: implicit by design, mirrors SymPy
+    Expr(int c) : Expr(static_cast<int64_t>(c)) {}
+
+    /** Fresh or named symbol. */
+    static Expr sym(const std::string& name);
+
+    Kind kind() const;
+
+    bool isConst() const { return kind() == Kind::Const; }
+    /** Constant value; requires isConst(). */
+    int64_t constValue() const;
+    /** Symbol name; requires kind()==Sym. */
+    const std::string& symName() const;
+    /** Operands of a compound node. */
+    const std::vector<Expr>& operands() const;
+
+    /** Environment type for evaluation/substitution. */
+    using Env = std::map<std::string, int64_t>;
+    using Subst = std::map<std::string, Expr>;
+
+    /** Evaluate fully; throws FatalError on unbound symbols. */
+    int64_t eval(const Env& env = {}) const;
+    /** Evaluate if possible. */
+    std::optional<int64_t> tryEval(const Env& env = {}) const;
+    /** Replace symbols by expressions (simplifying as it goes). */
+    Expr substitute(const Subst& s) const;
+
+    /** Free symbols of the expression. */
+    std::set<std::string> freeSymbols() const;
+
+    /** Canonical text form, e.g. "2*B + ceil(D0, 4)". */
+    std::string toString() const;
+
+    /** Structural (canonical-form) equality. */
+    bool equals(const Expr& other) const;
+
+    /** Total order used for canonicalization. */
+    static int compare(const Expr& a, const Expr& b);
+
+    friend Expr operator+(const Expr& a, const Expr& b);
+    friend Expr operator-(const Expr& a, const Expr& b);
+    friend Expr operator*(const Expr& a, const Expr& b);
+
+    Expr& operator+=(const Expr& b) { *this = *this + b; return *this; }
+    Expr& operator*=(const Expr& b) { *this = *this * b; return *this; }
+
+  private:
+    explicit Expr(std::shared_ptr<const ExprNode> node)
+        : node_(std::move(node))
+    {}
+
+    std::shared_ptr<const ExprNode> node_;
+
+    friend Expr makeAdd(std::vector<Expr> ts);
+    friend Expr makeMul(std::vector<Expr> fs);
+    friend Expr ceilDiv(const Expr& a, const Expr& b);
+    friend Expr floorDiv(const Expr& a, const Expr& b);
+    friend Expr max(const Expr& a, const Expr& b);
+    friend Expr min(const Expr& a, const Expr& b);
+    friend class ExprNode;
+};
+
+/** ceil(a / b); b must not evaluate to 0. */
+Expr ceilDiv(const Expr& a, const Expr& b);
+/** floor(a / b). */
+Expr floorDiv(const Expr& a, const Expr& b);
+Expr max(const Expr& a, const Expr& b);
+Expr min(const Expr& a, const Expr& b);
+
+/** Sum / product over a vector (empty -> 0 / 1). */
+Expr sum(const std::vector<Expr>& xs);
+Expr product(const std::vector<Expr>& xs);
+
+} // namespace step::sym

@@ -1,0 +1,128 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+#include "support/stats.hh"
+
+namespace step {
+
+std::vector<int64_t>
+ExpertTrace::binCounts() const
+{
+    std::vector<int64_t> bins(static_cast<size_t>(numExperts), 0);
+    for (const auto& tok : perToken)
+        for (uint32_t e : tok)
+            ++bins[e];
+    return bins;
+}
+
+double
+ExpertTrace::binStddev() const
+{
+    auto bins = binCounts();
+    std::vector<double> xs(bins.begin(), bins.end());
+    return stddev(xs);
+}
+
+int64_t
+ExpertTrace::activeExperts() const
+{
+    int64_t n = 0;
+    for (int64_t c : binCounts())
+        n += c > 0;
+    return n;
+}
+
+ExpertTrace
+generateExpertTrace(Rng& rng, int64_t num_tokens, int64_t num_experts,
+                    int64_t top_k, double alpha)
+{
+    STEP_ASSERT(top_k <= num_experts, "topK > experts");
+    ExpertTrace tr;
+    tr.numExperts = num_experts;
+    std::vector<double> alphas(static_cast<size_t>(num_experts), alpha);
+    std::vector<double> popularity = rng.dirichlet(alphas);
+    for (int64_t t = 0; t < num_tokens; ++t) {
+        std::vector<double> w = popularity;
+        std::vector<uint32_t> picks;
+        for (int64_t k = 0; k < top_k; ++k) {
+            size_t e = rng.categorical(w);
+            picks.push_back(static_cast<uint32_t>(e));
+            w[e] = 0.0; // without replacement
+        }
+        std::sort(picks.begin(), picks.end());
+        tr.perToken.push_back(std::move(picks));
+    }
+    return tr;
+}
+
+ExpertTrace
+representativeExpertTrace(uint64_t seed, int64_t num_tokens,
+                          int64_t num_experts, int64_t top_k,
+                          int64_t layers, double alpha)
+{
+    Rng rng(seed);
+    std::vector<ExpertTrace> traces;
+    std::vector<double> devs;
+    for (int64_t l = 0; l < layers; ++l) {
+        traces.push_back(generateExpertTrace(rng, num_tokens, num_experts,
+                                             top_k, alpha));
+        devs.push_back(traces.back().binStddev());
+    }
+    double avg = mean(devs);
+    size_t best = 0;
+    for (size_t i = 1; i < traces.size(); ++i)
+        if (std::abs(devs[i] - avg) < std::abs(devs[best] - avg))
+            best = i;
+    return traces[best];
+}
+
+std::vector<int64_t>
+sampleKvBatch(uint64_t seed, int64_t batch, KvVarClass var,
+              int64_t mean_len, int64_t max_len)
+{
+    Rng rng(seed);
+    constexpr int64_t kWindow = 5000;
+    // Log-normal with sigma ~1 gives the heavy-tailed mix of short
+    // chats and long-context requests seen in serving traces.
+    double sigma = 1.0;
+    double mu = std::log(static_cast<double>(mean_len)) -
+                sigma * sigma / 2.0;
+    std::vector<int64_t> window;
+    window.reserve(static_cast<size_t>(kWindow));
+    for (int64_t i = 0; i < kWindow; ++i) {
+        auto len = static_cast<int64_t>(rng.logNormal(mu, sigma));
+        window.push_back(std::clamp<int64_t>(len, 16, max_len));
+    }
+    // Form candidate batches and rank by length stddev.
+    int64_t num_batches = kWindow / batch;
+    std::vector<std::pair<double, int64_t>> ranked;
+    for (int64_t b = 0; b < num_batches; ++b) {
+        std::vector<double> xs;
+        for (int64_t i = 0; i < batch; ++i)
+            xs.push_back(static_cast<double>(
+                window[static_cast<size_t>(b * batch + i)]));
+        ranked.emplace_back(stddev(xs), b);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    size_t idx = 0;
+    switch (var) {
+      case KvVarClass::Low:
+        idx = ranked.size() / 20; // bottom decile
+        break;
+      case KvVarClass::Med:
+        idx = ranked.size() / 2;
+        break;
+      case KvVarClass::High:
+        idx = ranked.size() - 1 - ranked.size() / 20;
+        break;
+    }
+    int64_t b = ranked[idx].second;
+    return std::vector<int64_t>(
+        window.begin() + static_cast<long>(b * batch),
+        window.begin() + static_cast<long>((b + 1) * batch));
+}
+
+} // namespace step

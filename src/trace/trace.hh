@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic trace substrate. The paper drives its experiments with (a)
+ * expert-routing traces from running Qwen3/Mixtral on HH-RLHF requests
+ * and (b) KV-cache lengths sampled from the AzureLLMInference dataset
+ * (section 5.1, appendix B.3). Neither dataset ships with this repo, so
+ * we synthesize traces with the properties the experiments consume:
+ * skewed expert popularity with controllable bin-count variance, and
+ * KV-length batches in low/median/high standard-deviation classes drawn
+ * from a 5000-request log-normal window.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace step {
+
+/** Expert assignments for one batch at one layer. */
+struct ExpertTrace
+{
+    int64_t numExperts = 0;
+    /** topK expert ids per token. */
+    std::vector<std::vector<uint32_t>> perToken;
+
+    /** Tokens routed to each expert. */
+    std::vector<int64_t> binCounts() const;
+    /** Standard deviation of bin counts (B.3 selection metric). */
+    double binStddev() const;
+    /** Number of experts with at least one token. */
+    int64_t activeExperts() const;
+};
+
+/**
+ * Generate one expert-routing trace: expert popularity is drawn from a
+ * symmetric Dirichlet (smaller alpha = more skew, mimicking the
+ * concentration seen in real MoE routers), then each token samples topK
+ * distinct experts.
+ */
+ExpertTrace generateExpertTrace(Rng& rng, int64_t num_tokens,
+                                int64_t num_experts, int64_t top_k,
+                                double alpha = 0.5);
+
+/**
+ * B.3 methodology: generate @p layers traces and return the one whose
+ * bin-count standard deviation is closest to the average over all.
+ */
+ExpertTrace representativeExpertTrace(uint64_t seed, int64_t num_tokens,
+                                      int64_t num_experts, int64_t top_k,
+                                      int64_t layers = 16,
+                                      double alpha = 0.5);
+
+/** KV-length variability class (Figures 14, 15, 21). */
+enum class KvVarClass { Low, Med, High };
+
+/**
+ * Sample a batch of KV-cache lengths. A 5000-request window is drawn
+ * from a log-normal; batches are formed and ranked by their length
+ * standard deviation; Low/Med/High return a batch from the bottom 10% /
+ * median / top 10% variability, mirroring B.3.
+ */
+std::vector<int64_t> sampleKvBatch(uint64_t seed, int64_t batch,
+                                   KvVarClass var,
+                                   int64_t mean_len = 1024,
+                                   int64_t max_len = 8192);
+
+} // namespace step

@@ -1,0 +1,180 @@
+#include "workloads/decoder.hh"
+
+#include "ops/higher_order.hh"
+#include "ops/offchip.hh"
+#include "ops/shape_ops.hh"
+#include "ops/source_sink.hh"
+#include "support/error.hh"
+#include "trace/trace.hh"
+
+namespace step {
+
+namespace {
+
+std::string
+nm(const std::string& base, const std::string& suffix)
+{
+    return base + "." + suffix;
+}
+
+} // namespace
+
+StreamPort
+buildDenseProj(Graph& g, const std::string& name, StreamPort in_rows,
+               int64_t in_cols, int64_t out_cols, int64_t tile_rows,
+               int64_t weight_tile_cols, int64_t compute_bw,
+               uint64_t weight_base_addr)
+{
+    const int64_t Tc = weight_tile_cols;
+    STEP_ASSERT(out_cols % Tc == 0, "dense out_cols must divide by tile");
+    const int64_t n_cols = out_cols / Tc;
+
+    auto& flat = g.add<FlattenOp>(nm(name, "flat"), in_rows, 0, 1);
+    auto& rs = g.add<ReshapeOp>(nm(name, "reshape"), flat.out(), 0,
+                                tile_rows,
+                                std::optional<Value>(Tile(1, in_cols)));
+    auto& pk = g.add<AccumOp>(nm(name, "pack"), rs.out(), 1,
+                              fns::retileRowInit(in_cols),
+                              fns::retileRowUpdate(), compute_bw / 4,
+                              DataType::tile(tile_rows, in_cols));
+    auto& pbc = g.add<BroadcastOp>(nm(name, "pbc"), pk.out(), 2);
+
+    OffChipTensor wt = OffChipTensor::shapeOnly(weight_base_addr, in_cols,
+                                                out_cols, in_cols, Tc);
+    auto& ld = g.add<LinearOffChipLoadOp>(
+        nm(name, "wload"), pbc.out(1), wt, std::array<int64_t, 2>{n_cols,
+                                                                  1},
+        std::array<int64_t, 2>{1, n_cols});
+    auto& wfl = g.add<FlattenOp>(nm(name, "wflat"), ld.out(), 0, 1);
+    auto& rep = g.add<RepeatOp>(nm(name, "rep"), pbc.out(0), n_cols);
+    auto& mm = g.add<MapOp>(
+        nm(name, "mm"), std::vector<StreamPort>{rep.out(), wfl.out()},
+        fns::matmul(), compute_bw, DataType::tile(tile_rows, Tc));
+    mm.setMatmulMemSpec(1);
+    auto& pc = g.add<AccumOp>(nm(name, "packcol"), mm.out(), 1,
+                              fns::retileColInit(0), fns::retileColUpdate(),
+                              compute_bw / 4,
+                              DataType::tile(tile_rows, out_cols));
+    auto& fm = g.add<FlatMapOp>(nm(name, "unpack"), pc.out(),
+                                fns::retileStreamify(1),
+                                StreamShape({Dim::ragged()}),
+                                DataType::tile(1, out_cols));
+    auto& fi = g.add<FilterOp>(nm(name, "dropPad"), fm.out(), rs.padOut());
+    auto& fl2 = g.add<FlattenOp>(nm(name, "rows"), fi.out(), 0, 1);
+    auto& ch = g.add<RepeatOp>(nm(name, "chunk"), fl2.out(), 1);
+    return ch.out();
+}
+
+void
+buildDecoderLayer(Graph& g, const DecoderParams& p,
+                  const ExpertTrace& trace,
+                  const std::vector<int64_t>& kv_lens)
+{
+    const int64_t H = p.cfg.hidden;
+    const int64_t d = p.cfg.numKvHeads * p.cfg.headDim;
+    const int64_t qkv_cols =
+        p.cfg.numQHeads * p.cfg.headDim + 2 * d;
+    const auto B = static_cast<int64_t>(kv_lens.size());
+    STEP_ASSERT(static_cast<int64_t>(trace.perToken.size()) == B,
+                "trace/kv batch mismatch");
+
+    // Layer input activations.
+    std::vector<Token> in_toks;
+    StopCoalescer coal;
+    for (int64_t t = 0; t < B; ++t) {
+        for (auto& tk : coal.onData(Value(Tile(1, H))))
+            in_toks.push_back(tk);
+        for (auto& tk : coal.onStop(1))
+            in_toks.push_back(tk);
+    }
+    for (auto& tk : coal.onDone())
+        in_toks.push_back(tk);
+    auto& in_src = g.add<SourceOp>(
+        "layer.in", std::move(in_toks),
+        StreamShape({Dim::fixed(B), Dim::fixed(1)}), DataType::tile(1, H));
+
+    // Weight address space above the MoE/KV regions.
+    const uint64_t wbase = uint64_t{1} << 40;
+
+    // ---- QKV projection ---------------------------------------------
+    StreamPort qkv = buildDenseProj(g, "qkv", in_src.out(), H, qkv_cols,
+                                    p.denseTile, p.weightTileCols,
+                                    p.computeBwPerMatmul, wbase);
+    // Slice out the q head group (timing: emits a [1,d] row per token).
+    MapFn slice_q = [d](const std::vector<Value>& a, int64_t&) -> Value {
+        (void)a;
+        return Tile(1, d);
+    };
+    auto& qflat = g.add<FlattenOp>("qkv.sliceflat", qkv, 0, 1);
+    auto& qrows = g.add<MapOp>("qkv.sliceq",
+                               std::vector<StreamPort>{qflat.out()},
+                               slice_q, 0, DataType::tile(1, d));
+    auto& qchunk = g.add<RepeatOp>("qkv.qchunk", qrows.out(), 1);
+
+    // ---- attention -----------------------------------------------------
+    AttnParams ap;
+    ap.cfg = p.cfg;
+    ap.batch = B;
+    ap.strategy = p.attnStrategy;
+    ap.regions = p.attnRegions;
+    ap.kvTileRows = p.kvTileRows;
+    ap.computeBw = p.computeBwPerMatmul;
+    ap.coarseBlock = std::max<int64_t>(1, B / p.attnRegions);
+    ap.seed = p.seed;
+    StreamPort qport = qchunk.out();
+    AttnBuild ab = buildAttentionLayer(g, ap, kv_lens, nullptr, nullptr,
+                                       nullptr, &qport);
+    // [B, 1, 1] -> [B, 1] rows of [1,d].
+    auto& aflat = g.add<FlattenOp>("attn.outflat", ab.out, 0, 1);
+
+    // ---- output projection back to H ---------------------------------
+    StreamPort oproj = buildDenseProj(
+        g, "oproj", aflat.out(), d, H, p.denseTile, p.weightTileCols,
+        p.computeBwPerMatmul, wbase + (uint64_t{1} << 36));
+
+    // ---- MoE FFN -------------------------------------------------------
+    MoeParams mp;
+    mp.cfg = p.cfg;
+    mp.batch = B;
+    mp.tiling = p.moeTiling;
+    mp.tileRows = p.moeTile;
+    mp.weightTileCols = p.weightTileCols;
+    mp.computeBwPerMatmul = p.cfg.moeMatmulBw;
+    mp.parallelRegions = p.moeRegions;
+    mp.seed = p.seed;
+    MoeBuild mb = buildMoeLayer(g, mp, trace, nullptr, &oproj);
+
+    // ---- store the layer output ----------------------------------------
+    g.add<LinearOffChipStoreOp>("layer.store", mb.out,
+                                uint64_t{1} << 44);
+}
+
+EndToEndResult
+runEndToEnd(const DecoderParams& p, int64_t layers, uint64_t trace_seed)
+{
+    EndToEndResult agg;
+    for (int64_t l = 0; l < layers; ++l) {
+        Rng rng(trace_seed * 1000003 + static_cast<uint64_t>(l));
+        ExpertTrace trace = generateExpertTrace(
+            rng, p.batch, p.cfg.numExperts, p.cfg.topK);
+        auto kv = sampleKvBatch(trace_seed + static_cast<uint64_t>(l),
+                                p.batch, KvVarClass::Med);
+
+        SimConfig sc;
+        sc.channelCapacity = static_cast<size_t>(p.batch) + 32;
+        Graph g(sc);
+        buildDecoderLayer(g, p, trace, kv);
+        SimResult r = g.run();
+
+        agg.cycles += r.cycles;
+        agg.offChipBytes += r.offChipBytes;
+        agg.totalFlops += r.totalFlops;
+        agg.onChipPeakBytes = std::max(agg.onChipPeakBytes,
+                                       r.onChipPeakBytes);
+        agg.allocatedComputeBw = std::max(agg.allocatedComputeBw,
+                                          r.allocatedComputeBw);
+    }
+    return agg;
+}
+
+} // namespace step

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fused Transformer decoder layer and end-to-end model runner
+ * (section 5.5). Each layer is one STeP graph: QKV projection ->
+ * attention (parallelized over regions) -> output projection -> MoE ->
+ * off-chip store. The full model executes the layer graph repeatedly
+ * with per-layer expert-routing traces, exactly the paper's "executed
+ * repeatedly with layer-specific weights".
+ */
+#pragma once
+
+#include "ops/graph.hh"
+#include "workloads/attention.hh"
+#include "workloads/moe.hh"
+
+namespace step {
+
+struct DecoderParams
+{
+    ModelConfig cfg;
+    int64_t batch = 64;
+
+    Tiling moeTiling = Tiling::Static;
+    int64_t moeTile = 32;
+    /** 0 = dedicated region per expert. */
+    int64_t moeRegions = 0;
+
+    ParStrategy attnStrategy = ParStrategy::StaticInterleaved;
+    int64_t attnRegions = 4;
+    int64_t kvTileRows = 32;
+
+    int64_t denseTile = 32;
+    int64_t weightTileCols = 64;
+    int64_t computeBwPerMatmul = 1024;
+    uint64_t seed = 42;
+};
+
+/** Aggregate result of an end-to-end (multi-layer) run. */
+struct EndToEndResult
+{
+    dam::Cycle cycles = 0;          ///< summed over layers
+    int64_t onChipPeakBytes = 0;    ///< max over layers (same hardware)
+    int64_t allocatedComputeBw = 0; ///< max over layers
+    int64_t offChipBytes = 0;       ///< summed
+    int64_t totalFlops = 0;         ///< summed
+};
+
+/**
+ * Dense projection block over a row stream: [B,1] of [1,in_cols] ->
+ * [B,1] of [1,out_cols]. Used for QKV and attention-output projections.
+ */
+StreamPort buildDenseProj(Graph& g, const std::string& name,
+                          StreamPort in_rows, int64_t in_cols,
+                          int64_t out_cols, int64_t tile_rows,
+                          int64_t weight_tile_cols, int64_t compute_bw,
+                          uint64_t weight_base_addr);
+
+/**
+ * Build one decoder layer into @p g; returns the layer-output stream
+ * ([B] of [1,H] rows) already routed into a LinearOffChipStore, so the
+ * run's makespan covers "first off-chip read to last off-chip write".
+ */
+void buildDecoderLayer(Graph& g, const DecoderParams& p,
+                       const ExpertTrace& trace,
+                       const std::vector<int64_t>& kv_lens);
+
+/** Run @p layers decoder layers (fresh graph each) and aggregate. */
+EndToEndResult runEndToEnd(const DecoderParams& p, int64_t layers,
+                           uint64_t trace_seed);
+
+} // namespace step

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * MoE layer graph builder (section 3.3 generalized to the evaluation's
+ * SwiGLU experts, section 5.1). Supports:
+ *
+ *  - static tiling (Reshape+pad, the Revet-expressible baseline) and
+ *    dynamic tiling (Promote + dynamically-growing Accum, section 5.2);
+ *  - one dedicated subgraph per expert, or configuration
+ *    time-multiplexing with EagerMerge + RandomOffChipLoad over expert
+ *    regions (Figure 11, section 5.3);
+ *  - timing mode (shape-only tiles at full model dimensions) and
+ *    functional mode (payload tiles checked against referenceMoe()).
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ops/graph.hh"
+#include "trace/trace.hh"
+#include "workloads/model_config.hh"
+
+namespace step {
+
+enum class Tiling { Static, Dynamic };
+
+struct MoeParams
+{
+    ModelConfig cfg;
+    int64_t batch = 64;
+    Tiling tiling = Tiling::Static;
+    /** Static tile size along the batch dimension of each expert. */
+    int64_t tileRows = 32;
+    /** Weight column-tile width (reduction dim is never tiled, §3.3). */
+    int64_t weightTileCols = 64;
+    /** Compute bandwidth per matmul Map (Listing 1 uses 1024). */
+    int64_t computeBwPerMatmul = 1024;
+    /**
+     * Number of time-multiplexed regions; 0 = one dedicated subgraph per
+     * expert (no time-multiplexing).
+     */
+    int64_t parallelRegions = 0;
+    /**
+     * Region compute oversubscription: a region serving E experts is
+     * provisioned min(E, ceil(beta*sqrt(E))) x the per-expert matmul
+     * bandwidth — enough to keep a time-multiplexed region at the
+     * memory-bound knee (reproduces the paper's 54-62% compute savings
+     * at comparable cycles).
+     */
+    double regionBwBeta = 1.0;
+    /** Build payload-carrying tiles for functional checking. */
+    bool functional = false;
+    uint64_t seed = 42;
+};
+
+struct MoeBuild
+{
+    /** Final combined output: [B] stream of [1,H] tiles. */
+    StreamPort out;
+};
+
+/**
+ * Build the MoE layer into @p g. @p token_rows supplies functional input
+ * activations (batch x H); null in timing mode.
+ */
+MoeBuild buildMoeLayer(Graph& g, const MoeParams& p,
+                       const ExpertTrace& trace,
+                       const std::vector<std::vector<float>>* token_rows
+                           = nullptr,
+                       const StreamPort* ext_in = nullptr);
+
+/** Dense reference: same weights/combine rule as the STeP graph. */
+std::vector<std::vector<float>>
+referenceMoe(const MoeParams& p, const ExpertTrace& trace,
+             const std::vector<std::vector<float>>& tokens);
+
+/** Deterministic weight matrix used by both builder and reference. */
+std::vector<float> moeWeightMatrix(uint64_t seed, int64_t expert,
+                                   int matrix, int64_t rows, int64_t cols);
+
+/** FLOPs of the un-padded MoE computation (3 matmuls per assignment). */
+int64_t moeUsefulFlops(const MoeParams& p, const ExpertTrace& trace);
+
+/** Total weight traffic a static tiling of @p tile incurs, in bytes. */
+int64_t moeStaticWeightTraffic(const MoeParams& p, const ExpertTrace& trace,
+                               int64_t tile);
+
+} // namespace step

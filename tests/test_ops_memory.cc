@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the memory substrates and memory operators: DRAM timing,
+ * scratchpad accounting, off-chip load/store semantics and traffic
+ * metrics, Bufferize/Streamify round trips including dynamic buffers,
+ * and symbolic-vs-measured traffic agreement (section 4.2 cross-check).
+ */
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/scratchpad.hh"
+#include "support/error.hh"
+#include "ops/offchip.hh"
+#include "ops/onchip.hh"
+#include "ops/shape_ops.hh"
+#include "ops/source_sink.hh"
+
+#include "helpers.hh"
+
+namespace step {
+namespace {
+
+using test::list;
+using test::vec;
+
+TEST(Dram, RowHitFasterThanMiss)
+{
+    HbmBankModel m;
+    dam::Cycle first = m.access(0, 32, 0, false);
+    uint64_t misses1 = m.rowMisses();
+    // Adjacent column on the same channel/bank/row: hit.
+    dam::Cycle second_issue = first;
+    dam::Cycle second = m.access(32, 32, second_issue, false) -
+                        second_issue;
+    EXPECT_EQ(m.rowMisses(), misses1);
+    EXPECT_GT(m.rowHits(), 0u);
+    EXPECT_LT(second, first);
+}
+
+TEST(Dram, ChannelsServeInParallel)
+{
+    HbmConfig cfg;
+    HbmBankModel m(cfg);
+    // Two big streaming reads to disjoint address ranges issued at t=0:
+    // channel interleaving means they share the full device bandwidth.
+    dam::Cycle a = m.access(0, 1 << 16, 0, false);
+    HbmBankModel m2(cfg);
+    dam::Cycle b1 = m2.access(0, 1 << 15, 0, false);
+    dam::Cycle b2 = m2.access(1 << 20, 1 << 15, 0, false);
+    EXPECT_LE(std::max(b1, b2), a + cfg.tRP + cfg.tRCD + cfg.tCL);
+}
+
+TEST(Dram, BandwidthApproachesPeakForStreaming)
+{
+    HbmConfig cfg;
+    HbmBankModel m(cfg);
+    int64_t bytes = 4 << 20;
+    dam::Cycle done = m.access(0, bytes, 0, false);
+    double achieved = static_cast<double>(bytes) /
+                      static_cast<double>(done);
+    double peak = static_cast<double>(cfg.peakBytesPerCycle());
+    EXPECT_GT(achieved, 0.5 * peak);
+    EXPECT_LE(achieved, peak + 1);
+}
+
+TEST(SimpleBw, SerializesAccesses)
+{
+    SimpleBwModel m(64, 10);
+    dam::Cycle a = m.access(0, 640, 0, false);   // 10 service + 10 lat
+    dam::Cycle b = m.access(0, 640, 0, false);   // queued behind a
+    EXPECT_EQ(a, 20u);
+    EXPECT_EQ(b, 30u);
+    EXPECT_EQ(m.stats().bytesRead, 1280);
+}
+
+TEST(Scratchpad, TracksPeakAndRelease)
+{
+    Scratchpad sp(ScratchpadConfig{1024, 8, 0});
+    StoredBuffer b1;
+    b1.payloadBytes = 1000;
+    uint64_t id1 = sp.alloc(std::move(b1));
+    EXPECT_EQ(sp.liveAllocatedBytes(), 1024);
+    StoredBuffer b2;
+    b2.payloadBytes = 3000; // 3 pages
+    uint64_t id2 = sp.alloc(std::move(b2));
+    EXPECT_EQ(sp.liveAllocatedBytes(), 1024 + 3072);
+    EXPECT_EQ(sp.liveMetaBytes(), 4 * 8);
+    sp.release(id1);
+    EXPECT_EQ(sp.liveAllocatedBytes(), 3072);
+    EXPECT_EQ(sp.peakAllocatedBytes(), 1024 + 3072);
+    sp.release(id2);
+    EXPECT_EQ(sp.liveBytes(), 0);
+    EXPECT_THROW(sp.release(id2), PanicError);
+}
+
+TEST(Scratchpad, CapacityEnforced)
+{
+    Scratchpad sp(ScratchpadConfig{1024, 8, 2048});
+    StoredBuffer b;
+    b.payloadBytes = 4096;
+    EXPECT_THROW(sp.alloc(std::move(b)), FatalError);
+}
+
+TEST(Scratchpad, MetadataOverheadSmall)
+{
+    // Section 6.2: mapping metadata should be a few percent of capacity.
+    ScratchpadConfig cfg;
+    double overhead = static_cast<double>(cfg.pageMetaBytes) /
+                      static_cast<double>(cfg.pageBytes);
+    EXPECT_LT(overhead, 0.06);
+}
+
+TEST(LinearLoad, EmitsGridPerTrigger)
+{
+    Graph g;
+    // Stored tensor 4x4 with 2x2 tiles = [2,2] grid; payload 0..15.
+    std::vector<float> data(16);
+    for (int i = 0; i < 16; ++i)
+        data[static_cast<size_t>(i)] = static_cast<float>(i);
+    OffChipTensor t = OffChipTensor::fromData(0, 4, 4, 2, 2, data, 1);
+    // Trigger twice.
+    auto& ref = g.add<SourceOp>("ref", encodeNested(vec({0, 0}), 1),
+                                StreamShape::fixed({2}),
+                                test::scalarTile());
+    auto& ld = g.add<LinearOffChipLoadOp>(
+        "ld", ref.out(), t, std::array<int64_t, 2>{2, 1},
+        std::array<int64_t, 2>{2, 2});
+    auto& sink = g.add<SinkOp>("sink", ld.out(), true);
+    auto res = g.run();
+    // 2 triggers x 4 tiles of 2x2x1B.
+    EXPECT_EQ(sink.dataCount(), 8u);
+    EXPECT_EQ(res.offChipBytes, 2 * 4 * 4);
+    // Symbolic traffic matches measurement exactly (section 4.2).
+    EXPECT_EQ(g.offChipTrafficExpr().eval({}), res.offChipBytes);
+    // Functional check: tile (0,0) carries 0,1,4,5.
+    const Tile& t00 = sink.tokens()[0].value().tile();
+    EXPECT_FLOAT_EQ(t00.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t00.at(1, 1), 5.0f);
+    Nested out = decodeNested(sink.tokens(), 3);
+    ASSERT_EQ(out.children().size(), 2u);
+    EXPECT_EQ(out.children()[0].children().size(), 2u);
+}
+
+TEST(LinearLoad, RefStreamStructureLifts)
+{
+    Graph g;
+    OffChipTensor t = OffChipTensor::shapeOnly(0, 2, 2, 2, 2);
+    auto& ref = g.add<SourceOp>(
+        "ref", encodeNested(list({vec({0}), vec({0, 0})}), 2),
+        StreamShape({Dim::fixed(2), Dim::ragged()}), test::scalarTile());
+    auto& ld = g.add<LinearOffChipLoadOp>(
+        "ld", ref.out(), t, std::array<int64_t, 2>{1, 1},
+        std::array<int64_t, 2>{1, 1});
+    EXPECT_EQ(ld.out().rank(), 4u);
+    auto& sink = g.add<SinkOp>("sink", ld.out(), true);
+    g.run();
+    Nested out = decodeNested(sink.tokens(), 4);
+    ASSERT_EQ(out.children().size(), 2u);
+    EXPECT_EQ(out.children()[1].children().size(), 2u);
+}
+
+TEST(LinearStore, CountsTrafficAndCompletes)
+{
+    Graph g;
+    Nested n = list({Nested(Value(Tile(4, 4, 2))),
+                     Nested(Value(Tile(4, 4, 2)))});
+    auto& src = g.add<SourceOp>("src", encodeNested(n, 1),
+                                StreamShape::fixed({2}),
+                                DataType::tile(4, 4));
+    auto& st = g.add<LinearOffChipStoreOp>("st", src.out(), 0x1000);
+    auto res = g.run();
+    EXPECT_EQ(res.offChipWriteBytes, 2 * 32);
+    EXPECT_EQ(st.bytesStored(), 64);
+    EXPECT_GT(st.lastWrite(), 0u);
+    EXPECT_EQ(g.offChipTrafficExpr().eval({}), 64);
+}
+
+TEST(RandomLoad, SingleTilePreservesRank)
+{
+    Graph g;
+    OffChipTensor t = OffChipTensor::shapeOnly(0, 8, 2, 2, 2);
+    auto& addr = g.add<SourceOp>(
+        "addr", encodeNested(list({vec({0, 2}), vec({1})}), 2),
+        StreamShape({Dim::fixed(2), Dim::ragged()}), test::scalarTile());
+    auto& ld = g.add<RandomOffChipLoadOp>("ld", addr.out(), t,
+                                          t.tileBytes());
+    EXPECT_EQ(ld.out().rank(), 2u);
+    auto& sink = g.add<SinkOp>("sink", ld.out(), true);
+    auto res = g.run();
+    EXPECT_EQ(sink.dataCount(), 3u);
+    EXPECT_EQ(res.offChipBytes, 3 * t.tileBytes());
+}
+
+TEST(RandomLoad, GridModeLoadsBlocks)
+{
+    Graph g;
+    OffChipTensor t = OffChipTensor::shapeOnly(0, 16, 4, 2, 2);
+    int64_t block = 2 * t.tileBytes();
+    auto& addr = g.add<SourceOp>("addr", encodeNested(vec({1, 0}), 1),
+                                 StreamShape::fixed({2}),
+                                 test::scalarTile());
+    auto& ld = g.add<RandomOffChipLoadOp>(
+        "ld", addr.out(), t, block, std::array<int64_t, 2>{1, 2}, true);
+    EXPECT_EQ(ld.out().rank(), 3u);
+    auto& sink = g.add<SinkOp>("sink", ld.out(), true);
+    auto res = g.run();
+    EXPECT_EQ(sink.dataCount(), 4u);
+    EXPECT_EQ(res.offChipBytes, 4 * t.tileBytes());
+}
+
+TEST(RandomStore, AcksEveryWrite)
+{
+    Graph g;
+    auto& addr = g.add<SourceOp>("addr", encodeNested(vec({0, 3}), 1),
+                                 StreamShape::fixed({2}),
+                                 test::scalarTile());
+    Nested data = list({Nested(Value(Tile(2, 2, 2))),
+                        Nested(Value(Tile(2, 2, 2)))});
+    auto& wd = g.add<SourceOp>("wd", encodeNested(data, 1),
+                               StreamShape::fixed({2}),
+                               DataType::tile(2, 2));
+    auto& st = g.add<RandomOffChipStoreOp>("st", addr.out(), wd.out(),
+                                           0x2000, 8);
+    auto& sink = g.add<SinkOp>("sink", st.ackOut(), true);
+    auto res = g.run();
+    EXPECT_EQ(sink.dataCount(), 2u);
+    EXPECT_EQ(res.offChipWriteBytes, 16);
+}
+
+TEST(Bufferize, GroupsByRankAndAllocates)
+{
+    Graph g;
+    Nested n = list({vec({1, 2}), vec({3})});
+    auto& src = g.add<SourceOp>("src", encodeNested(n, 2),
+                                StreamShape({Dim::fixed(2), Dim::ragged()}),
+                                test::scalarTile());
+    auto& buf = g.add<BufferizeOp>("buf", src.out(), 1);
+    EXPECT_EQ(buf.out().rank(), 1u);
+    EXPECT_TRUE(buf.out().dtype.isBufferRef());
+    auto& sink = g.add<SinkOp>("sink", buf.out(), true);
+    g.run();
+    EXPECT_EQ(sink.dataCount(), 2u);
+    EXPECT_EQ(g.scratchpad().numAllocs(), 2u);
+    const auto& b0 = g.scratchpad().get(
+        sink.tokens()[0].value().bufferRef().id);
+    EXPECT_EQ(b0.gridDims, (std::vector<int64_t>{2}));
+}
+
+TEST(BufferizeStreamify, LinearReplayRoundTrip)
+{
+    Graph g;
+    Nested n = list({vec({1, 2}), vec({3, 4, 5})});
+    auto& src = g.add<SourceOp>("src", encodeNested(n, 2),
+                                StreamShape({Dim::fixed(2), Dim::ragged()}),
+                                test::scalarTile());
+    auto& buf = g.add<BufferizeOp>("buf", src.out(), 1);
+    // One pass per buffer (c=0): identity round trip.
+    auto& ref = g.add<SourceOp>("ref", encodeNested(vec({0, 0}), 1),
+                                StreamShape::fixed({2}),
+                                test::scalarTile());
+    auto& sf = g.add<StreamifyOp>("sf", buf.out(), ref.out(), 0);
+    auto& sink = g.add<SinkOp>("sink", sf.out(), true);
+    g.run();
+    Nested out = decodeNested(sink.tokens(), 2);
+    EXPECT_EQ(test::leavesOf(out), (std::vector<float>{1, 2, 3, 4, 5}));
+    // Buffers released after use.
+    EXPECT_EQ(g.scratchpad().numLive(), 0u);
+    EXPECT_GT(g.scratchpad().peakAllocatedBytes(), 0);
+}
+
+TEST(BufferizeStreamify, DynamicRereadCount)
+{
+    Graph g;
+    // One buffer of 3 values, replayed a data-dependent 4 times.
+    Nested n = list({vec({1, 2, 3})});
+    auto& src = g.add<SourceOp>("src", encodeNested(n, 2),
+                                StreamShape({Dim::fixed(1), Dim::ragged()}),
+                                test::scalarTile());
+    auto& buf = g.add<BufferizeOp>("buf", src.out(), 1);
+    auto& ref = g.add<SourceOp>(
+        "ref", encodeNested(list({vec({0, 0, 0, 0})}), 2),
+        StreamShape({Dim::fixed(1), Dim::ragged()}), test::scalarTile());
+    auto& sf = g.add<StreamifyOp>("sf", buf.out(), ref.out(), 1);
+    auto& sink = g.add<SinkOp>("sink", sf.out(), true);
+    g.run();
+    EXPECT_EQ(sink.dataCount(), 12u);
+    Nested out = decodeNested(sink.tokens(), 3);
+    ASSERT_EQ(out.children().size(), 1u);
+    EXPECT_EQ(out.children()[0].children().size(), 4u);
+}
+
+TEST(BufferizeStreamify, AffineReadOverGrid)
+{
+    Graph g;
+    // Buffer a [2,2] grid of scalars, then read it column-major via
+    // stride (1,2) shape (2,2).
+    Nested n = list({list({vec({1, 2}), vec({3, 4})})});
+    auto& src = g.add<SourceOp>("src", encodeNested(n, 3),
+                                StreamShape::fixed({1, 2, 2}),
+                                test::scalarTile());
+    auto& buf = g.add<BufferizeOp>("buf", src.out(), 2);
+    auto& ref = g.add<SourceOp>("ref", encodeNested(vec({0}), 1),
+                                StreamShape::fixed({1}),
+                                test::scalarTile());
+    StreamifyAffine aff;
+    aff.stride = {1, 2};
+    aff.outShape = {2, 2};
+    auto& sf = g.add<StreamifyOp>("sf", buf.out(), ref.out(), 0, aff);
+    auto& sink = g.add<SinkOp>("sink", sf.out(), true);
+    g.run();
+    Nested out = decodeNested(sink.tokens(), 3);
+    EXPECT_EQ(test::leavesOf(out), (std::vector<float>{1, 3, 2, 4}));
+}
+
+TEST(Metrics, BufferizeOnChipExpression)
+{
+    Graph g;
+    auto& src = g.add<SourceOp>("src",
+                                encodeNested(list({vec({1, 2})}), 2),
+                                StreamShape::fixed({1, 2}),
+                                DataType::tile(4, 4));
+    g.add<BufferizeOp>("buf", src.out(), 1);
+    // |in dtype| + ||buffer|| * |in dtype| * 2 = 32 + 2*32*2 = 160.
+    EXPECT_EQ(g.onChipMemExpr().eval({}), 32 + 2 * 32 * 2);
+}
+
+} // namespace
+} // namespace step

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the symbolic expression engine.
+ */
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "symbolic/expr.hh"
+
+namespace step::sym {
+namespace {
+
+TEST(Symbolic, ConstantsFold)
+{
+    Expr e = Expr(2) + Expr(3) * Expr(4);
+    ASSERT_TRUE(e.isConst());
+    EXPECT_EQ(e.constValue(), 14);
+}
+
+TEST(Symbolic, LikeTermsCombine)
+{
+    Expr x = Expr::sym("x");
+    Expr e = x + Expr(2) * x;
+    EXPECT_EQ(e.toString(), "3*x");
+    EXPECT_TRUE((e - Expr(3) * x).isConst());
+}
+
+TEST(Symbolic, AdditionIdentity)
+{
+    Expr x = Expr::sym("x");
+    EXPECT_TRUE((x + Expr(0)).equals(x));
+    EXPECT_TRUE((x * Expr(1)).equals(x));
+    EXPECT_TRUE((x * Expr(0)).isConst());
+    EXPECT_EQ((x * Expr(0)).constValue(), 0);
+}
+
+TEST(Symbolic, CanonicalOrderingMakesEqualityStructural)
+{
+    Expr x = Expr::sym("x");
+    Expr y = Expr::sym("y");
+    EXPECT_TRUE((x + y).equals(y + x));
+    EXPECT_TRUE((x * y).equals(y * x));
+    EXPECT_FALSE((x + y).equals(x * y));
+}
+
+TEST(Symbolic, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(Expr(10), Expr(4)).constValue(), 3);
+    EXPECT_EQ(ceilDiv(Expr(8), Expr(4)).constValue(), 2);
+    EXPECT_EQ(ceilDiv(Expr(0), Expr(4)).constValue(), 0);
+    Expr d = Expr::sym("D");
+    EXPECT_TRUE(ceilDiv(d, Expr(1)).equals(d));
+    Expr e = ceilDiv(d, Expr(4));
+    EXPECT_EQ(e.eval({{"D", 10}}), 3);
+}
+
+TEST(Symbolic, FloorDiv)
+{
+    EXPECT_EQ(floorDiv(Expr(10), Expr(4)).constValue(), 2);
+    EXPECT_EQ(floorDiv(Expr(-1), Expr(4)).constValue(), -1);
+}
+
+TEST(Symbolic, MaxMin)
+{
+    Expr d = Expr::sym("D");
+    EXPECT_EQ(max(Expr(3), Expr(7)).constValue(), 7);
+    EXPECT_EQ(min(Expr(3), Expr(7)).constValue(), 3);
+    EXPECT_TRUE(max(d, d).equals(d));
+    EXPECT_EQ(max(d, Expr(2)).eval({{"D", 9}}), 9);
+    EXPECT_EQ(min(d, Expr(2)).eval({{"D", 9}}), 2);
+}
+
+TEST(Symbolic, SubstitutionSimplifies)
+{
+    Expr d = Expr::sym("D");
+    Expr e = ceilDiv(d, Expr(4)) * Expr(4);
+    Expr bound = e.substitute({{"D", Expr(10)}});
+    ASSERT_TRUE(bound.isConst());
+    EXPECT_EQ(bound.constValue(), 12);
+}
+
+TEST(Symbolic, SubstituteSymbolForExpression)
+{
+    Expr d = Expr::sym("D");
+    Expr b = Expr::sym("B");
+    Expr e = d * Expr(2);
+    Expr out = e.substitute({{"D", b + Expr(1)}});
+    EXPECT_EQ(out.eval({{"B", 4}}), 10);
+}
+
+TEST(Symbolic, EvalUnboundThrows)
+{
+    Expr d = Expr::sym("D");
+    EXPECT_THROW(d.eval({}), FatalError);
+    EXPECT_FALSE(d.tryEval({}).has_value());
+}
+
+TEST(Symbolic, FreeSymbols)
+{
+    Expr e = Expr::sym("a") * Expr::sym("b") + ceilDiv(Expr::sym("c"),
+                                                       Expr(2));
+    auto syms = e.freeSymbols();
+    EXPECT_EQ(syms.size(), 3u);
+    EXPECT_TRUE(syms.count("a"));
+    EXPECT_TRUE(syms.count("b"));
+    EXPECT_TRUE(syms.count("c"));
+}
+
+TEST(Symbolic, SumProductHelpers)
+{
+    EXPECT_EQ(sum({}).constValue(), 0);
+    EXPECT_EQ(product({}).constValue(), 1);
+    EXPECT_EQ(sum({Expr(1), Expr(2), Expr(3)}).constValue(), 6);
+    EXPECT_EQ(product({Expr(2), Expr(3)}).constValue(), 6);
+}
+
+TEST(Symbolic, NestedArithmetic)
+{
+    Expr d0 = Expr::sym("D0");
+    Expr d1 = Expr::sym("D1");
+    Expr traffic = (ceilDiv(d0, Expr(4)) * Expr(4) + d1) * Expr(128);
+    EXPECT_EQ(traffic.eval({{"D0", 6}, {"D1", 2}}), (8 + 2) * 128);
+}
+
+/** Property sweep: ceilDiv(eval) == integer ceil for many operands. */
+class CeilDivProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CeilDivProperty, MatchesIntegerCeil)
+{
+    int64_t n = GetParam();
+    for (int64_t d = 1; d <= 9; ++d) {
+        Expr e = ceilDiv(Expr(n), Expr(d));
+        int64_t expect = (n + d - 1) / d;
+        EXPECT_EQ(e.constValue(), expect) << n << "/" << d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CeilDivProperty,
+                         ::testing::Values(0, 1, 3, 4, 7, 16, 17, 63, 64,
+                                           65, 1023));
+
+} // namespace
+} // namespace step::sym

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tile algebra tests: matmul, elementwise ops, concatenation, slicing,
+ * FLOP accounting, and shape-only (timing mode) propagation.
+ */
+#include <gtest/gtest.h>
+
+#include "core/tile.hh"
+#include "support/error.hh"
+
+namespace step {
+namespace {
+
+TEST(Tile, MatmulSmall)
+{
+    Tile a = Tile::withData(2, 3, {1, 2, 3, 4, 5, 6});
+    Tile b = Tile::withData(3, 2, {7, 8, 9, 10, 11, 12});
+    int64_t flops = 0;
+    Tile c = matmul(a, b, &flops);
+    EXPECT_EQ(flops, 2 * 2 * 3 * 2);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Tile, MatmulShapeOnlyPropagates)
+{
+    Tile a(4, 8);
+    Tile b(8, 16);
+    int64_t flops = 0;
+    Tile c = matmul(a, b, &flops);
+    EXPECT_EQ(c.rows(), 4);
+    EXPECT_EQ(c.cols(), 16);
+    EXPECT_FALSE(c.hasData());
+    EXPECT_EQ(flops, 2 * 4 * 8 * 16);
+}
+
+TEST(Tile, MatmulShapeMismatchThrows)
+{
+    EXPECT_THROW(matmul(Tile(2, 3), Tile(4, 2)), PanicError);
+}
+
+TEST(Tile, AddAndMul)
+{
+    Tile a = Tile::withData(1, 3, {1, 2, 3});
+    Tile b = Tile::withData(1, 3, {10, 20, 30});
+    Tile s = add(a, b);
+    Tile m = elemMul(a, b);
+    EXPECT_FLOAT_EQ(s.at(0, 2), 33.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 40.0f);
+}
+
+TEST(Tile, Silu)
+{
+    Tile a = Tile::withData(1, 2, {0.0f, 100.0f});
+    Tile s = silu(a);
+    EXPECT_FLOAT_EQ(s.at(0, 0), 0.0f);
+    EXPECT_NEAR(s.at(0, 1), 100.0f, 1e-3);
+}
+
+TEST(Tile, RetileRowGrowsDynamically)
+{
+    Tile acc(0, 4, 2);
+    Tile row1 = Tile::withData(1, 4, {1, 2, 3, 4});
+    Tile row2 = Tile::withData(2, 4, {5, 6, 7, 8, 9, 10, 11, 12});
+    Tile r = retileRow(acc, row1);
+    EXPECT_EQ(r.rows(), 1);
+    r = retileRow(r, row2);
+    EXPECT_EQ(r.rows(), 3);
+    EXPECT_EQ(r.cols(), 4);
+    EXPECT_FLOAT_EQ(r.at(2, 3), 12.0f);
+    EXPECT_EQ(r.bytes(), 3 * 4 * 2);
+}
+
+TEST(Tile, RetileColConcats)
+{
+    Tile a = Tile::withData(2, 1, {1, 2});
+    Tile b = Tile::withData(2, 2, {3, 4, 5, 6});
+    Tile c = retileCol(a, b);
+    EXPECT_EQ(c.rows(), 2);
+    EXPECT_EQ(c.cols(), 3);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 3.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 2), 6.0f);
+}
+
+TEST(Tile, SliceRows)
+{
+    Tile a = Tile::withData(3, 2, {1, 2, 3, 4, 5, 6});
+    Tile s = sliceRows(a, 1, 3);
+    EXPECT_EQ(s.rows(), 2);
+    EXPECT_FLOAT_EQ(s.at(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(s.at(1, 1), 6.0f);
+}
+
+TEST(Tile, BytesUseElementSize)
+{
+    Tile bf16(8, 8, 2);
+    Tile fp32(8, 8, 4);
+    EXPECT_EQ(bf16.bytes(), 128);
+    EXPECT_EQ(fp32.bytes(), 256);
+}
+
+TEST(Tile, EqualsRespectsTolerance)
+{
+    Tile a = Tile::withData(1, 1, {1.0f});
+    Tile b = Tile::withData(1, 1, {1.0005f});
+    EXPECT_FALSE(a.equals(b));
+    EXPECT_TRUE(a.equals(b, 1e-2f));
+}
+
+} // namespace
+} // namespace step
