@@ -1,0 +1,114 @@
+#include "analysis/utilization.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace step {
+
+dam::Cycle
+UtilizationTimeline::span() const
+{
+    dam::Cycle end = 0;
+    for (const auto& s : samples_)
+        end = std::max(end, s.start + s.length);
+    return end;
+}
+
+int64_t
+UtilizationTimeline::totalUsefulFlops() const
+{
+    int64_t total = 0;
+    for (const auto& s : samples_)
+        total += s.usefulFlops;
+    return total;
+}
+
+double
+UtilizationTimeline::computeUtilization(int64_t total_bw) const
+{
+    dam::Cycle t = span();
+    if (!t || total_bw <= 0)
+        return 0.0;
+    return static_cast<double>(totalUsefulFlops()) /
+           (static_cast<double>(t) * static_cast<double>(total_bw));
+}
+
+double
+UtilizationTimeline::meanDecodeBatch() const
+{
+    double num = 0.0, den = 0.0;
+    for (const auto& s : samples_) {
+        num += static_cast<double>(s.decodeBatch) *
+               static_cast<double>(s.length);
+        den += static_cast<double>(s.length);
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+double
+UtilizationTimeline::meanPrefillShare() const
+{
+    double num = 0.0, den = 0.0;
+    for (const auto& s : samples_) {
+        int64_t bw = s.prefillBw + s.decodeBw;
+        if (bw <= 0)
+            continue;
+        num += static_cast<double>(s.prefillBw) /
+               static_cast<double>(bw) * static_cast<double>(s.length);
+        den += static_cast<double>(s.length);
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+Table
+UtilizationTimeline::bucketReport(int64_t total_bw, int buckets) const
+{
+    STEP_ASSERT(buckets > 0, "bucketed report needs buckets");
+    Table t({"t (kcycle)", "util %", "decode batch", "prefill share %",
+             "prefill tok"});
+    dam::Cycle end = span();
+    if (!end)
+        return t;
+    dam::Cycle width = (end + static_cast<dam::Cycle>(buckets) - 1) /
+                       static_cast<dam::Cycle>(buckets);
+
+    struct Acc
+    {
+        double flops = 0, batch = 0, share = 0, len = 0;
+        int64_t prefillTok = 0;
+    };
+    std::vector<Acc> acc(static_cast<size_t>(buckets));
+    for (const auto& s : samples_) {
+        // Attribute the iteration to the bucket containing its start;
+        // iterations are short relative to buckets, so overlap splitting
+        // would change nothing visible.
+        auto b = std::min<size_t>(static_cast<size_t>(s.start / width),
+                                  static_cast<size_t>(buckets) - 1);
+        acc[b].flops += static_cast<double>(s.usefulFlops);
+        acc[b].batch += static_cast<double>(s.decodeBatch) *
+                        static_cast<double>(s.length);
+        int64_t bw = s.prefillBw + s.decodeBw;
+        if (bw > 0)
+            acc[b].share += static_cast<double>(s.prefillBw) /
+                            static_cast<double>(bw) *
+                            static_cast<double>(s.length);
+        acc[b].len += static_cast<double>(s.length);
+        acc[b].prefillTok += s.prefillTokens;
+    }
+    for (int b = 0; b < buckets; ++b) {
+        const Acc& a = acc[static_cast<size_t>(b)];
+        double cap = static_cast<double>(width) *
+                     static_cast<double>(total_bw);
+        t.row()
+            .cellF(static_cast<double>(static_cast<dam::Cycle>(b) * width) /
+                       1000.0, 0)
+            .cellF(cap > 0.0 ? 100.0 * a.flops / cap : 0.0, 1)
+            .cellF(a.len > 0.0 ? a.batch / a.len : 0.0, 1)
+            .cellF(a.len > 0.0 ? 100.0 * a.share / a.len : 0.0, 1)
+            .cell(a.prefillTok);
+    }
+    return t;
+}
+
+} // namespace step

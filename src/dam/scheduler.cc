@@ -87,6 +87,15 @@ Scheduler::run()
     }
 }
 
+void
+Scheduler::reset()
+{
+    contexts_.clear();
+    ready_ = {};
+    seq_ = 0;
+    finished_ = 0;
+}
+
 Cycle
 Scheduler::elapsed() const
 {

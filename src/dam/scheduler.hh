@@ -31,6 +31,14 @@ class Scheduler
      */
     void run();
 
+    /**
+     * Forget all registered contexts so the scheduler can be reused for
+     * another simulation (the serving runtime runs one graph per batching
+     * iteration through a single engine-owned scheduler). Contexts are
+     * not owned and are left untouched.
+     */
+    void reset();
+
     /** Makespan: max local clock over all contexts after run(). */
     Cycle elapsed() const;
 

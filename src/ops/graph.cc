@@ -64,16 +64,27 @@ Graph::onChipMemExpr() const
 SimResult
 Graph::run()
 {
+    dam::Scheduler sched;
+    return run(sched);
+}
+
+SimResult
+Graph::run(dam::Scheduler& sched)
+{
     STEP_ASSERT(!ran_, "Graph::run() called twice");
     ran_ = true;
 
-    dam::Scheduler sched;
+    sched.reset();
     for (auto& op : ops_)
         sched.add(op.get());
     sched.run();
 
     SimResult res;
     res.cycles = sched.elapsed();
+    // Drop the scheduler's context pointers now: they reference ops this
+    // graph owns, and a long-lived external scheduler must not dangle
+    // into them once the graph is destroyed.
+    sched.reset();
     const MemStats& ms = mem_->stats();
     res.offChipReadBytes = ms.bytesRead;
     res.offChipWriteBytes = ms.bytesWritten;

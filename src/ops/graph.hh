@@ -93,6 +93,13 @@ class Graph
     /** Run the simulation; callable once per graph. */
     SimResult run();
 
+    /**
+     * Run the simulation on an externally owned scheduler (reset before
+     * use). Lets a long-lived driver such as the serving engine reuse one
+     * scheduler across many per-iteration graphs.
+     */
+    SimResult run(dam::Scheduler& sched);
+
     const std::vector<std::unique_ptr<OpBase>>& ops() const { return ops_; }
 
   private:

@@ -1,0 +1,67 @@
+#include "runtime/batcher.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace step::runtime {
+
+ContinuousBatcher::ContinuousBatcher(BatcherConfig cfg) : cfg_(cfg)
+{
+    STEP_ASSERT(cfg_.kvBudgetBytes > 0, "KV budget must be positive");
+    STEP_ASSERT(cfg_.kvBytesPerToken > 0, "KV token size must be positive");
+    STEP_ASSERT(cfg_.maxRunning > 0, "batch cap must be positive");
+}
+
+void
+ContinuousBatcher::enqueue(Request* r)
+{
+    STEP_ASSERT(r->state == ReqState::Queued,
+                "request " << r->id << " enqueued in non-Queued state");
+    int64_t need = r->kvReservationTokens() * cfg_.kvBytesPerToken;
+    STEP_ASSERT(need <= cfg_.kvBudgetBytes,
+                "request " << r->id << " can never fit the KV budget ("
+                           << need << " > " << cfg_.kvBudgetBytes << " B)");
+    waiting_.push_back(r);
+}
+
+std::vector<Request*>
+ContinuousBatcher::admit()
+{
+    std::vector<Request*> admitted;
+    while (!waiting_.empty() &&
+           static_cast<int64_t>(running_.size()) < cfg_.maxRunning) {
+        Request* r = waiting_.front();
+        int64_t need = r->kvReservationTokens() * cfg_.kvBytesPerToken;
+        if (kvReserved_ + need > cfg_.kvBudgetBytes)
+            break;
+        waiting_.pop_front();
+        kvReserved_ += need;
+        r->state = ReqState::Prefilling;
+        running_.push_back(r);
+        admitted.push_back(r);
+    }
+    return admitted;
+}
+
+void
+ContinuousBatcher::release(Request* r)
+{
+    auto it = std::find(running_.begin(), running_.end(), r);
+    STEP_ASSERT(it != running_.end(),
+                "releasing request " << r->id << " that is not running");
+    kvReserved_ -= r->kvReservationTokens() * cfg_.kvBytesPerToken;
+    STEP_ASSERT(kvReserved_ >= 0, "KV reservation accounting underflow");
+    running_.erase(it);
+}
+
+int64_t
+ContinuousBatcher::waitingPromptTokens() const
+{
+    int64_t tokens = 0;
+    for (const Request* r : waiting_)
+        tokens += r->promptLen;
+    return tokens;
+}
+
+} // namespace step::runtime

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Admission queue + iteration-level continuous batcher. Requests wait in
+ * FIFO order; at every batching iteration the engine asks the batcher to
+ * admit as many waiting requests as fit under the KV-memory budget and
+ * the batch-size cap. Admission reserves the request's worst-case KV
+ * footprint (prompt + max output), so an admitted request never has to
+ * be preempted — the simple deterministic discipline of iteration-level
+ * continuous batching.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "runtime/request.hh"
+
+namespace step::runtime {
+
+struct BatcherConfig
+{
+    /** KV-cache capacity in bytes. */
+    int64_t kvBudgetBytes = int64_t{1} << 26;
+    /** KV bytes per cached token (model-dependent; see ModelConfig). */
+    int64_t kvBytesPerToken = 256;
+    /** Maximum concurrently running requests. */
+    int64_t maxRunning = 64;
+};
+
+class ContinuousBatcher
+{
+  public:
+    explicit ContinuousBatcher(BatcherConfig cfg);
+
+    /** A request has arrived; it joins the admission queue. */
+    void enqueue(Request* r);
+
+    /**
+     * Admit waiting requests in FIFO order while the KV reservation and
+     * batch cap allow; head-of-line blocking is deliberate (keeps
+     * admission fair and deterministic). Admitted requests move to
+     * Prefilling; the newly admitted set is returned.
+     */
+    std::vector<Request*> admit();
+
+    /** Release a finished request's KV reservation and drop it. */
+    void release(Request* r);
+
+    const std::vector<Request*>& running() const { return running_; }
+    int64_t waitingCount() const
+    {
+        return static_cast<int64_t>(waiting_.size());
+    }
+    /** Total un-prefilled prompt tokens still waiting for admission. */
+    int64_t waitingPromptTokens() const;
+
+    int64_t kvBytesReserved() const { return kvReserved_; }
+    int64_t kvBudgetBytes() const { return cfg_.kvBudgetBytes; }
+
+  private:
+    BatcherConfig cfg_;
+    std::deque<Request*> waiting_;
+    std::vector<Request*> running_;
+    int64_t kvReserved_ = 0;
+};
+
+} // namespace step::runtime

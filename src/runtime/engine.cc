@@ -1,0 +1,227 @@
+#include "runtime/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+#include "support/rng.hh"
+#include "trace/trace.hh"
+
+namespace step::runtime {
+
+namespace {
+
+/** Hard bound against a non-progressing configuration. */
+constexpr int64_t kMaxIterations = 1'000'000;
+
+} // namespace
+
+EngineConfig::EngineConfig() : model(servingSimConfig()) {}
+
+ServingEngine::ServingEngine(EngineConfig cfg, const Policy& policy)
+    : cfg_(std::move(cfg)), policy_(policy)
+{
+    if (cfg_.numLayers == 0)
+        cfg_.numLayers = cfg_.model.numLayers;
+    if (cfg_.batcher.kvBytesPerToken == 0)
+        cfg_.batcher.kvBytesPerToken = cfg_.model.kvBytesPerToken();
+    STEP_ASSERT(cfg_.totalComputeBw >= 2,
+                "bandwidth pool too small to split");
+    STEP_ASSERT(cfg_.numLayers > 0, "layer count must be positive");
+}
+
+int64_t
+ServingEngine::prefillFlopsPerToken() const
+{
+    const ModelConfig& m = cfg_.model;
+    int64_t d = m.numKvHeads * m.headDim;
+    int64_t qkv_cols = m.numQHeads * m.headDim + 2 * d;
+    int64_t per_layer = 2 * m.hidden * qkv_cols          // QKV proj
+                        + 2 * d * m.hidden               // output proj
+                        + m.topK * 3 * 2 * m.hidden *
+                              m.moeIntermediate;         // SwiGLU expert
+    return per_layer * cfg_.numLayers;
+}
+
+EngineResult
+ServingEngine::run(std::vector<Request>& reqs)
+{
+    STEP_ASSERT(std::is_sorted(reqs.begin(), reqs.end(),
+                               [](const Request& a, const Request& b) {
+                                   return a.arrival < b.arrival;
+                               }),
+                "request trace must be sorted by arrival");
+
+    ContinuousBatcher batcher(cfg_.batcher);
+    EngineResult res;
+    Rng iter_rng(cfg_.seed);
+    const double fpt = static_cast<double>(prefillFlopsPerToken());
+
+    // Iteration-graph parameters shared across iterations; the per-
+    // iteration pieces are the batch's KV lengths, the expert trace, and
+    // the policy-assigned matmul bandwidth.
+    DecoderParams dp;
+    dp.cfg = cfg_.model;
+    dp.attnStrategy = cfg_.attnStrategy;
+    dp.attnRegions = cfg_.attnRegions;
+    dp.kvTileRows = cfg_.kvTileRows;
+    dp.moeRegions = cfg_.moeRegions;
+    dp.moeTile = cfg_.moeTile;
+    dp.denseTile = cfg_.denseTile;
+    dp.weightTileCols = cfg_.weightTileCols;
+    dp.seed = cfg_.seed;
+    // Matmul pipelines the decode share is spread over: the two dense
+    // projections, the attention regions, and the MoE regions.
+    const int64_t decode_units =
+        2 + cfg_.attnRegions +
+        (cfg_.moeRegions > 0 ? cfg_.moeRegions : cfg_.model.numExperts);
+
+    dam::Cycle now = 0;
+    size_t next_arrival = 0;
+    int64_t finished = 0;
+    const auto total = static_cast<int64_t>(reqs.size());
+
+    while (finished < total) {
+        STEP_ASSERT(res.iterations < kMaxIterations,
+                    "serving engine is not making progress");
+
+        // ---- admit everything that has arrived by `now` --------------
+        while (next_arrival < reqs.size() &&
+               reqs[next_arrival].arrival <= now)
+            batcher.enqueue(&reqs[next_arrival++]);
+        batcher.admit();
+
+        if (batcher.running().empty()) {
+            STEP_ASSERT(next_arrival < reqs.size(),
+                        "engine idle with unfinished requests");
+            now = reqs[next_arrival].arrival;
+            continue;
+        }
+
+        // ---- policy decision for this iteration ----------------------
+        LoadSnapshot load;
+        load.waitingRequests = batcher.waitingCount();
+        load.waitingPromptTokens = batcher.waitingPromptTokens();
+        std::vector<Request*> decodes;
+        std::vector<Request*> prefills;
+        for (Request* r : batcher.running()) {
+            if (r->state == ReqState::Decoding) {
+                decodes.push_back(r);
+            } else {
+                prefills.push_back(r);
+                load.pendingPrefillTokens +=
+                    r->promptLen - r->prefilledTokens;
+            }
+        }
+        load.activeDecodes = static_cast<int64_t>(decodes.size());
+        BwSplit split = policy_.split(load, cfg_.totalComputeBw);
+
+        // ---- iteration length ---------------------------------------
+        dam::Cycle iter_cycles = 0;
+        int64_t decode_flops = 0;
+        if (!decodes.empty()) {
+            // One decode step for the whole batch: a decoder-layer pass
+            // over the current composition, simulated on the substrate.
+            IterationSpec spec;
+            for (Request* r : decodes)
+                spec.kvLens.push_back(r->contextLen());
+            spec.trace = generateExpertTrace(
+                iter_rng, static_cast<int64_t>(decodes.size()),
+                cfg_.model.numExperts, cfg_.model.topK);
+            dp.batch = static_cast<int64_t>(decodes.size());
+            dp.computeBwPerMatmul = std::max<int64_t>(
+                16, split.decodeBw / decode_units);
+            dp.cfg.moeMatmulBw = dp.computeBwPerMatmul;
+            SimResult sim = runDecoderIteration(dp, spec, &sched_);
+            iter_cycles = sim.cycles * static_cast<dam::Cycle>(
+                cfg_.numLayers);
+            decode_flops = sim.totalFlops * cfg_.numLayers;
+        } else {
+            // Prefill-only iteration: run until the head request's
+            // prompt completes, but wake up for the next arrival.
+            STEP_ASSERT(split.prefillBw > 0,
+                        "policy starves prefill with no decode work");
+            double remaining =
+                static_cast<double>(prefills.front()->promptLen) * fpt -
+                prefills.front()->prefillFlopsDone;
+            iter_cycles = static_cast<dam::Cycle>(std::ceil(
+                remaining / static_cast<double>(split.prefillBw)));
+            iter_cycles = std::max<dam::Cycle>(1, iter_cycles);
+            if (next_arrival < reqs.size()) {
+                dam::Cycle gap = reqs[next_arrival].arrival - now;
+                iter_cycles = std::max<dam::Cycle>(
+                    1, std::min(iter_cycles, gap));
+            }
+        }
+
+        // ---- prefill progress (FIFO, analytic) ----------------------
+        double budget = static_cast<double>(split.prefillBw) *
+                        static_cast<double>(iter_cycles);
+        double consumed = 0.0;
+        int64_t prefilled_tokens = 0;
+        for (Request* r : prefills) {
+            if (budget <= 0.0)
+                break;
+            double need = static_cast<double>(r->promptLen) * fpt -
+                          r->prefillFlopsDone;
+            double use = std::min(need, budget);
+            budget -= use;
+            consumed += use;
+            r->prefillFlopsDone += use;
+            int64_t tok_before = r->prefilledTokens;
+            r->prefilledTokens = std::min(
+                r->promptLen,
+                static_cast<int64_t>(r->prefillFlopsDone / fpt));
+            prefilled_tokens += r->prefilledTokens - tok_before;
+            if (use >= need) {
+                // Prompt done: the first output token is emitted at the
+                // point inside the iteration where its prefill finished.
+                auto offset = static_cast<dam::Cycle>(std::ceil(
+                    consumed / static_cast<double>(split.prefillBw)));
+                r->firstTokenAt =
+                    now + std::min(offset, iter_cycles);
+                r->generated = 1;
+                r->state = ReqState::Decoding;
+                if (r->generated >= r->outputLen) {
+                    r->state = ReqState::Finished;
+                    r->finishedAt = r->firstTokenAt;
+                    batcher.release(r);
+                    ++finished;
+                }
+            }
+        }
+
+        // ---- decode progress ----------------------------------------
+        for (Request* r : decodes) {
+            r->generated += 1;
+            if (r->generated >= r->outputLen) {
+                r->state = ReqState::Finished;
+                r->finishedAt = now + iter_cycles;
+                batcher.release(r);
+                ++finished;
+            }
+        }
+
+        // ---- accounting ---------------------------------------------
+        IterationSample sample;
+        sample.start = now;
+        sample.length = iter_cycles;
+        sample.prefillBw = split.prefillBw;
+        sample.decodeBw = split.decodeBw;
+        sample.usefulFlops =
+            decode_flops + static_cast<int64_t>(consumed);
+        sample.decodeBatch = static_cast<int64_t>(decodes.size());
+        sample.prefillTokens = prefilled_tokens;
+        res.timeline.record(sample);
+        ++res.iterations;
+
+        now += iter_cycles;
+    }
+
+    res.summary = summarize(reqs, res.timeline.span(), cfg_.slo);
+    res.summary.computeUtilization =
+        res.timeline.computeUtilization(cfg_.totalComputeBw);
+    return res;
+}
+
+} // namespace step::runtime

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Continuous-batching serving engine on the DAM substrate. Per batching
+ * iteration the engine (1) admits arrivals through the KV-budgeted
+ * batcher, (2) asks the active dynamic-parallelism policy to split the
+ * compute bandwidth between prefill and decode, (3) instantiates one
+ * decoder-layer STeP graph for the *current* decode-batch composition
+ * (per-request KV lengths + a fresh expert-routing trace) and runs it
+ * through a reused dam::Scheduler, and (4) advances per-request state,
+ * recording TTFT/TPOT events. Prefill progress is modeled analytically
+ * at the policy-allocated bandwidth (prefill is dense and static — the
+ * dynamism the simulated graphs must capture lives in decode).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/utilization.hh"
+#include "runtime/batcher.hh"
+#include "runtime/metrics.hh"
+#include "runtime/policy.hh"
+#include "runtime/request.hh"
+#include "workloads/decoder.hh"
+
+namespace step::runtime {
+
+struct EngineConfig
+{
+    ModelConfig model;
+    /** Layers the per-layer iteration cycles scale by; 0 = model value. */
+    int64_t numLayers = 0;
+    /** Compute-bandwidth pool the policy splits (FLOPs/cycle). */
+    int64_t totalComputeBw = 8192;
+
+    // ---- iteration-graph knobs (see DecoderParams) -------------------
+    ParStrategy attnStrategy = ParStrategy::Dynamic;
+    int64_t attnRegions = 4;
+    int64_t kvTileRows = 32;
+    int64_t moeRegions = 4;
+    int64_t moeTile = 16;
+    int64_t denseTile = 16;
+    int64_t weightTileCols = 64;
+
+    BatcherConfig batcher; ///< kvBytesPerToken 0 = derive from model
+    SloConfig slo;
+    uint64_t seed = 42;
+
+    EngineConfig();
+};
+
+struct EngineResult
+{
+    ServingSummary summary;
+    UtilizationTimeline timeline;
+    int64_t iterations = 0;
+};
+
+class ServingEngine
+{
+  public:
+    ServingEngine(EngineConfig cfg, const Policy& policy);
+
+    /**
+     * Serve @p reqs (mutated in place: states, TTFT/finish stamps) until
+     * every request finishes. Deterministic for fixed (config, policy,
+     * trace).
+     */
+    EngineResult run(std::vector<Request>& reqs);
+
+    /**
+     * Analytic prefill cost of one prompt token across all layers
+     * (QKV + output projections and the top-K expert FFN; prompt
+     * attention is projection-dominated and left out of the model).
+     */
+    int64_t prefillFlopsPerToken() const;
+
+  private:
+    EngineConfig cfg_;
+    const Policy& policy_;
+    dam::Scheduler sched_; ///< reused across per-iteration graphs
+};
+
+} // namespace step::runtime

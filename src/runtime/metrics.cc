@@ -1,0 +1,85 @@
+#include "runtime/metrics.hh"
+
+#include <iostream>
+
+#include "support/error.hh"
+#include "support/stats.hh"
+
+namespace step::runtime {
+
+double
+ttft(const Request& r)
+{
+    STEP_ASSERT(r.generated >= 1,
+                "TTFT of request " << r.id << " before its first token");
+    return static_cast<double>(r.firstTokenAt - r.arrival);
+}
+
+double
+tpot(const Request& r)
+{
+    if (r.outputLen <= 1)
+        return 0.0;
+    STEP_ASSERT(r.done(), "TPOT of unfinished request " << r.id);
+    return static_cast<double>(r.finishedAt - r.firstTokenAt) /
+           static_cast<double>(r.outputLen - 1);
+}
+
+ServingSummary
+summarize(const std::vector<Request>& reqs, dam::Cycle makespan,
+          const SloConfig& slo)
+{
+    ServingSummary s;
+    s.makespan = makespan;
+    std::vector<double> ttfts;
+    std::vector<double> tpots;
+    int64_t good_tokens = 0;
+    for (const Request& r : reqs) {
+        if (!r.done())
+            continue;
+        ++s.completed;
+        s.generatedTokens += r.generated;
+        ttfts.push_back(ttft(r));
+        if (r.outputLen > 1)
+            tpots.push_back(tpot(r));
+        if (slo.meets(r)) {
+            ++s.sloCompliant;
+            good_tokens += r.generated;
+        }
+    }
+    s.ttftP50 = percentile(ttfts, 50.0);
+    s.ttftP99 = percentile(ttfts, 99.0);
+    s.ttftMean = mean(ttfts);
+    s.tpotP50 = percentile(tpots, 50.0);
+    s.tpotP99 = percentile(tpots, 99.0);
+    s.tpotMean = mean(tpots);
+    if (makespan > 0) {
+        double kcycles = static_cast<double>(makespan) / 1000.0;
+        s.throughputTokensPerKcycle =
+            static_cast<double>(s.generatedTokens) / kcycles;
+        s.goodputTokensPerKcycle =
+            static_cast<double>(good_tokens) / kcycles;
+    }
+    return s;
+}
+
+void
+printSummary(const ServingSummary& s, std::ostream& os)
+{
+    os << "completed requests : " << s.completed << " ("
+       << s.generatedTokens << " tokens, " << s.sloCompliant
+       << " within SLO)\n"
+       << "makespan           : " << s.makespan << " cycles\n"
+       << "TTFT p50/p99       : " << s.ttftP50 << " / " << s.ttftP99
+       << " cycles\n"
+       << "TPOT p50/p99       : " << s.tpotP50 << " / " << s.tpotP99
+       << " cycles/token\n"
+       << "throughput         : " << s.throughputTokensPerKcycle
+       << " tokens/kcycle\n"
+       << "goodput (SLO)      : " << s.goodputTokensPerKcycle
+       << " tokens/kcycle\n"
+       << "compute utilization: " << 100.0 * s.computeUtilization
+       << " %\n";
+}
+
+} // namespace step::runtime

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Serving metrics: TTFT (time to first token), TPOT (time per output
+ * token), throughput, and SLO-gated goodput, with nearest-rank p50/p99
+ * built on support/stats. All times are simulated cycles.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "dam/task.hh"
+#include "runtime/request.hh"
+
+namespace step::runtime {
+
+/** Per-request latencies (cycles). */
+double ttft(const Request& r);
+/** Mean decode latency per token after the first; 0 if outputLen == 1. */
+double tpot(const Request& r);
+
+/** Latency service-level objective used to gate goodput. */
+struct SloConfig
+{
+    double ttftCycles = 5e6;
+    double tpotCycles = 1.5e6;
+
+    bool
+    meets(const Request& r) const
+    {
+        return ttft(r) <= ttftCycles &&
+               (r.outputLen <= 1 || tpot(r) <= tpotCycles);
+    }
+};
+
+struct ServingSummary
+{
+    int64_t completed = 0;
+    int64_t generatedTokens = 0;
+    dam::Cycle makespan = 0;
+
+    double ttftP50 = 0, ttftP99 = 0, ttftMean = 0;
+    double tpotP50 = 0, tpotP99 = 0, tpotMean = 0;
+
+    int64_t sloCompliant = 0; ///< completed requests meeting the SLO
+    /** Generated tokens per kilocycle, all completed requests. */
+    double throughputTokensPerKcycle = 0;
+    /** Generated tokens per kilocycle from SLO-compliant requests only. */
+    double goodputTokensPerKcycle = 0;
+
+    /** Useful FLOPs / (provisioned bandwidth * makespan); engine-filled. */
+    double computeUtilization = 0;
+};
+
+/**
+ * Aggregate finished requests into a summary. Unfinished requests are
+ * ignored (the engine runs traces to completion, so normally none).
+ */
+ServingSummary summarize(const std::vector<Request>& reqs,
+                         dam::Cycle makespan, const SloConfig& slo);
+
+void printSummary(const ServingSummary& s, std::ostream& os);
+
+} // namespace step::runtime

@@ -1,0 +1,60 @@
+#include "runtime/policy.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace step::runtime {
+
+StaticSplitPolicy::StaticSplitPolicy(double prefill_frac)
+    : prefillFrac_(prefill_frac)
+{
+    STEP_ASSERT(prefill_frac > 0.0 && prefill_frac < 1.0,
+                "static prefill fraction must be in (0, 1)");
+}
+
+BwSplit
+StaticSplitPolicy::split(const LoadSnapshot& load, int64_t total_bw) const
+{
+    (void)load; // static: the whole point is that it cannot react
+    BwSplit s;
+    s.prefillBw = std::max<int64_t>(
+        1, static_cast<int64_t>(prefillFrac_ *
+                                static_cast<double>(total_bw)));
+    s.decodeBw = std::max<int64_t>(1, total_bw - s.prefillBw);
+    return s;
+}
+
+QueueDepthPolicy::QueueDepthPolicy(double ramp_tokens,
+                                   double max_prefill_frac)
+    : rampTokens_(ramp_tokens), maxPrefillFrac_(max_prefill_frac)
+{
+    STEP_ASSERT(ramp_tokens > 0.0, "ramp must be positive");
+    STEP_ASSERT(max_prefill_frac > 0.0 && max_prefill_frac < 1.0,
+                "prefill cap must be in (0, 1)");
+}
+
+BwSplit
+QueueDepthPolicy::split(const LoadSnapshot& load, int64_t total_bw) const
+{
+    // Only admitted prefill work can consume bandwidth this iteration:
+    // waiting requests were already offered admission at the iteration
+    // boundary, so if the queue is deep while nothing is Prefilling the
+    // batch is KV/cap-blocked and prefill bandwidth would be pure waste.
+    double prefill_work = static_cast<double>(load.pendingPrefillTokens);
+    BwSplit s;
+    if (prefill_work <= 0.0) {
+        s.decodeBw = total_bw;
+        return s;
+    }
+    double frac = maxPrefillFrac_ *
+                  std::min(1.0, prefill_work / rampTokens_);
+    s.prefillBw = std::max<int64_t>(
+        1, static_cast<int64_t>(frac * static_cast<double>(total_bw)));
+    if (load.activeDecodes > 0)
+        s.prefillBw = std::min(s.prefillBw, total_bw - 1);
+    s.decodeBw = total_bw - s.prefillBw;
+    return s;
+}
+
+} // namespace step::runtime

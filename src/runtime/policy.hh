@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dynamic-parallelism policies: how the serving engine divides its
+ * compute bandwidth between prefill and decode work, re-decided every
+ * batching iteration (the request-level analog of the paper's
+ * configuration time-multiplexing, Figures 12/13). A StaticSplit
+ * partitions the hardware once — the Revet-style provisioning that
+ * idles the prefill share when the queue is empty and starves it during
+ * bursts — while QueueDepth reallocates proportionally to the
+ * outstanding work on each side.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace step::runtime {
+
+/** Queue/batch state visible to a policy at an iteration boundary. */
+struct LoadSnapshot
+{
+    int64_t waitingRequests = 0;     ///< in the admission queue
+    int64_t waitingPromptTokens = 0; ///< prompt tokens not yet admitted
+    int64_t pendingPrefillTokens = 0;///< admitted, not yet prefilled
+    int64_t activeDecodes = 0;       ///< requests in Decoding state
+};
+
+/** Compute-bandwidth split for one iteration (FLOPs/cycle each). */
+struct BwSplit
+{
+    int64_t prefillBw = 0;
+    int64_t decodeBw = 0;
+};
+
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+    virtual std::string name() const = 0;
+    /** Split @p total_bw for the next iteration. */
+    virtual BwSplit split(const LoadSnapshot& load,
+                          int64_t total_bw) const = 0;
+};
+
+/** Fixed-fraction partition, regardless of load. */
+class StaticSplitPolicy : public Policy
+{
+  public:
+    explicit StaticSplitPolicy(double prefill_frac = 0.3);
+    std::string name() const override { return "static-split"; }
+    BwSplit split(const LoadSnapshot& load,
+                  int64_t total_bw) const override;
+
+  private:
+    double prefillFrac_;
+};
+
+/**
+ * Queue-depth-driven reallocation: the prefill share ramps linearly with
+ * the admitted-but-unprefilled tokens up to a cap that protects
+ * in-flight decodes, and collapses to zero when no admitted prefill
+ * work exists so decode gets the whole machine. Bursts therefore pull
+ * bandwidth toward prefill exactly while there is prefill work that can
+ * run — the request-level analog of availability-driven dispatch.
+ */
+class QueueDepthPolicy : public Policy
+{
+  public:
+    /**
+     * @p ramp_tokens — outstanding prefill tokens at which the share
+     * reaches its cap (roughly one typical prompt); @p max_prefill_frac
+     * — decode-protection cap on the prefill share.
+     */
+    explicit QueueDepthPolicy(double ramp_tokens = 256.0,
+                              double max_prefill_frac = 0.75);
+    std::string name() const override { return "queue-depth"; }
+    BwSplit split(const LoadSnapshot& load,
+                  int64_t total_bw) const override;
+
+  private:
+    double rampTokens_;
+    double maxPrefillFrac_;
+};
+
+} // namespace step::runtime

@@ -1,0 +1,69 @@
+#include "runtime/request.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+#include "support/rng.hh"
+
+namespace step::runtime {
+
+namespace {
+
+/** Log-normal draw with the given linear-scale mean, clamped. */
+int64_t
+sampleLen(Rng& rng, int64_t mean, double sigma, int64_t lo, int64_t hi)
+{
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); solve for mu.
+    double mu = std::log(static_cast<double>(mean)) - 0.5 * sigma * sigma;
+    auto len = static_cast<int64_t>(std::llround(rng.logNormal(mu, sigma)));
+    return std::clamp(len, lo, hi);
+}
+
+/** Arrival rate (per cycle) in effect at time @p t. */
+double
+rateAt(const TraceConfig& cfg, double t)
+{
+    double base = cfg.arrivalsPerKcycle / 1000.0;
+    if (cfg.burstPeriod == 0)
+        return base;
+    double phase = std::fmod(t, static_cast<double>(cfg.burstPeriod));
+    bool on = phase < cfg.burstDuty * static_cast<double>(cfg.burstPeriod);
+    return on ? base * cfg.burstFactor : base / cfg.burstFactor;
+}
+
+} // namespace
+
+std::vector<Request>
+generateTrace(const TraceConfig& cfg, uint64_t seed)
+{
+    STEP_ASSERT(cfg.numRequests > 0, "empty trace requested");
+    STEP_ASSERT(cfg.arrivalsPerKcycle > 0.0, "non-positive arrival rate");
+    Rng rng(seed);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<size_t>(cfg.numRequests));
+
+    // Piecewise-homogeneous Poisson process: each inter-arrival gap is an
+    // exponential draw at the rate in effect when the previous request
+    // arrived. For burst periods much longer than a gap this matches the
+    // on/off process; it keeps generation one-pass and deterministic.
+    double t = 0.0;
+    for (int64_t i = 0; i < cfg.numRequests; ++i) {
+        double u = 0.0;
+        while (u == 0.0)
+            u = rng.uniform();
+        t += -std::log(u) / rateAt(cfg, t);
+
+        Request r;
+        r.id = i;
+        r.arrival = static_cast<dam::Cycle>(std::llround(t));
+        r.promptLen = sampleLen(rng, cfg.promptMean, cfg.promptSigma,
+                                cfg.promptMin, cfg.promptMax);
+        r.outputLen = sampleLen(rng, cfg.outputMean, cfg.outputSigma,
+                                cfg.outputMin, cfg.outputMax);
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+} // namespace step::runtime

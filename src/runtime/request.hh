@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Request model for the serving runtime. A request is a prompt that must
+ * be prefilled, then a sequence of decode tokens, with an arrival time
+ * drawn from a seeded synthetic workload (Poisson or bursty on/off
+ * modulated Poisson). This is the request-level dynamism — variable KV
+ * lengths, variable batch composition, bursty load — that the STeP
+ * paper's streaming abstraction is built to exploit.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dam/task.hh"
+
+namespace step::runtime {
+
+enum class ReqState : uint8_t {
+    Queued,     ///< arrived, waiting for admission
+    Prefilling, ///< admitted, prompt being processed
+    Decoding,   ///< first token emitted, generating
+    Finished,
+};
+
+struct Request
+{
+    int64_t id = 0;
+    dam::Cycle arrival = 0;
+    int64_t promptLen = 0; ///< tokens to prefill
+    int64_t outputLen = 1; ///< tokens to generate (includes first token)
+
+    // ---- dynamic serving state --------------------------------------
+    ReqState state = ReqState::Queued;
+    int64_t prefilledTokens = 0;
+    /** Sub-token prefill progress (flops), engine bookkeeping. */
+    double prefillFlopsDone = 0.0;
+    int64_t generated = 0;
+    dam::Cycle firstTokenAt = 0; ///< valid once generated >= 1
+    dam::Cycle finishedAt = 0;   ///< valid once state == Finished
+
+    /** Current KV context length (prompt + generated so far). */
+    int64_t contextLen() const { return promptLen + generated; }
+
+    /** Worst-case KV footprint in tokens, reserved at admission. */
+    int64_t kvReservationTokens() const { return promptLen + outputLen; }
+
+    bool done() const { return state == ReqState::Finished; }
+};
+
+/** Synthetic arrival/length workload parameters. */
+struct TraceConfig
+{
+    int64_t numRequests = 200;
+    /** Mean arrivals per 1000 cycles of simulated time. */
+    double arrivalsPerKcycle = 0.001;
+
+    /** Prompt length: log-normal around the mean, clamped. */
+    int64_t promptMean = 128;
+    int64_t promptMin = 16;
+    int64_t promptMax = 1024;
+    double promptSigma = 0.6; ///< underlying normal sigma
+
+    /** Output length: log-normal around the mean, clamped. */
+    int64_t outputMean = 32;
+    int64_t outputMin = 4;
+    int64_t outputMax = 128;
+    double outputSigma = 0.5;
+
+    /**
+     * On/off burst modulation. With burstPeriod == 0 arrivals are plain
+     * Poisson. Otherwise time alternates between an "on" window of
+     * burstDuty * burstPeriod cycles where the rate is multiplied by
+     * burstFactor and an "off" window where it is divided by it —
+     * bursty traffic with the same long-run mean shape, which is what
+     * separates queue-depth-driven resource policies from static
+     * splits.
+     */
+    dam::Cycle burstPeriod = 0;
+    double burstDuty = 0.3;
+    double burstFactor = 4.0;
+};
+
+/**
+ * Generate a request trace, sorted by arrival time. Deterministic for a
+ * fixed (config, seed) pair.
+ */
+std::vector<Request> generateTrace(const TraceConfig& cfg, uint64_t seed);
+
+} // namespace step::runtime

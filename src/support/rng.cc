@@ -1,10 +1,50 @@
 #include "support/rng.hh"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "support/error.hh"
 
 namespace step {
+
+namespace {
+
+uint64_t g_seed = 42;
+
+} // namespace
+
+void
+setGlobalSeed(uint64_t seed)
+{
+    g_seed = seed;
+}
+
+uint64_t
+globalSeed()
+{
+    return g_seed;
+}
+
+uint64_t
+deriveSeed(uint64_t stream_id)
+{
+    // One SplitMix64 step over (seed, stream) decorrelates nearby ids.
+    Rng mix(g_seed ^ (stream_id * 0xd1342543de82ef95ULL));
+    return mix.next();
+}
+
+uint64_t
+seedFromArgsOrEnv(int argc, char** argv)
+{
+    if (const char* env = std::getenv("STEP_SEED"))
+        setGlobalSeed(std::strtoull(env, nullptr, 0));
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0)
+            setGlobalSeed(std::strtoull(argv[i + 1], nullptr, 0));
+    }
+    return g_seed;
+}
 
 double
 Rng::gaussian()

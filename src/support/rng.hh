@@ -2,7 +2,10 @@
  * @file
  * Deterministic random number generation and the distributions used by the
  * synthetic trace substrate. All experiments must be reproducible from a
- * seed, so nothing here touches global state.
+ * seed. Rng instances never touch shared state; the one process-wide
+ * value is the explicit base seed below (default 42), which benches set
+ * once at startup from --seed/STEP_SEED and every component then derives
+ * its per-stream seeds from.
  */
 #pragma once
 
@@ -69,5 +72,27 @@ class Rng
     bool haveSpare_ = false;
     double spare_ = 0.0;
 };
+
+/**
+ * Process-wide base seed for experiment reproducibility. Every bench and
+ * example derives its per-component Rng seeds from this value, so one
+ * `--seed N` flag (or the STEP_SEED environment variable) reseeds a whole
+ * sweep while run-to-run results stay bit-identical for a fixed seed.
+ * Defaults to 42.
+ */
+void setGlobalSeed(uint64_t seed);
+uint64_t globalSeed();
+
+/**
+ * Derive an independent stream seed for component @p stream_id from the
+ * global seed (SplitMix64 mix, so nearby ids decorrelate).
+ */
+uint64_t deriveSeed(uint64_t stream_id);
+
+/**
+ * Bench entry point: apply `--seed N` from @p argv or the STEP_SEED
+ * environment variable (flag wins) to the global seed; returns it.
+ */
+uint64_t seedFromArgsOrEnv(int argc, char** argv);
 
 } // namespace step

@@ -1,5 +1,6 @@
 #include "support/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/error.hh"
@@ -62,6 +63,20 @@ pearson(const std::vector<double>& xs, const std::vector<double>& ys)
     if (sxx == 0.0 || syy == 0.0)
         return 0.0;
     return sxy / std::sqrt(sxx * syy);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    STEP_ASSERT(p >= 0.0 && p <= 100.0, "percentile rank out of range");
+    std::sort(xs.begin(), xs.end());
+    if (p <= 0.0)
+        return xs.front();
+    auto rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+    return xs[std::min(rank, xs.size()) - 1];
 }
 
 } // namespace step

@@ -18,4 +18,11 @@ double geomean(const std::vector<double>& xs);
 /** Pearson correlation coefficient; returns 0 for degenerate inputs. */
 double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
 
+/**
+ * Nearest-rank percentile: the smallest x such that at least p percent of
+ * the samples are <= x. p in [0, 100]; returns 0 for empty input. Used by
+ * the serving-latency reporting (p50/p99 TTFT and TPOT).
+ */
+double percentile(std::vector<double> xs, double p);
+
 } // namespace step

@@ -149,22 +149,34 @@ buildDecoderLayer(Graph& g, const DecoderParams& p,
                                 uint64_t{1} << 44);
 }
 
+SimResult
+runDecoderIteration(const DecoderParams& p, const IterationSpec& spec,
+                    dam::Scheduler* sched)
+{
+    const auto B = static_cast<int64_t>(spec.kvLens.size());
+    STEP_ASSERT(B > 0, "decoder iteration over an empty batch");
+    SimConfig sc;
+    sc.channelCapacity = static_cast<size_t>(B) + 32;
+    Graph g(sc);
+    buildDecoderLayer(g, p, spec.trace, spec.kvLens);
+    if (sched)
+        return g.run(*sched);
+    return g.run();
+}
+
 EndToEndResult
 runEndToEnd(const DecoderParams& p, int64_t layers, uint64_t trace_seed)
 {
     EndToEndResult agg;
+    dam::Scheduler sched;
     for (int64_t l = 0; l < layers; ++l) {
         Rng rng(trace_seed * 1000003 + static_cast<uint64_t>(l));
-        ExpertTrace trace = generateExpertTrace(
-            rng, p.batch, p.cfg.numExperts, p.cfg.topK);
-        auto kv = sampleKvBatch(trace_seed + static_cast<uint64_t>(l),
-                                p.batch, KvVarClass::Med);
-
-        SimConfig sc;
-        sc.channelCapacity = static_cast<size_t>(p.batch) + 32;
-        Graph g(sc);
-        buildDecoderLayer(g, p, trace, kv);
-        SimResult r = g.run();
+        IterationSpec spec;
+        spec.trace = generateExpertTrace(rng, p.batch, p.cfg.numExperts,
+                                         p.cfg.topK);
+        spec.kvLens = sampleKvBatch(trace_seed + static_cast<uint64_t>(l),
+                                    p.batch, KvVarClass::Med);
+        SimResult r = runDecoderIteration(p, spec, &sched);
 
         agg.cycles += r.cycles;
         agg.offChipBytes += r.offChipBytes;

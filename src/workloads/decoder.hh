@@ -64,6 +64,32 @@ void buildDecoderLayer(Graph& g, const DecoderParams& p,
                        const ExpertTrace& trace,
                        const std::vector<int64_t>& kv_lens);
 
+/**
+ * One serving iteration: a single decoder-layer pass over the *current*
+ * dynamic batch composition. The serving runtime calls this once per
+ * continuous-batching iteration with the batch's per-request context
+ * lengths and a per-iteration expert-routing trace, instead of building
+ * one whole-run graph up front — that is what lets request-level
+ * dynamism (variable KV lengths, variable batch size, variable expert
+ * load) reach the hardware model.
+ */
+struct IterationSpec
+{
+    /** Per-request KV context length for this iteration's batch. */
+    std::vector<int64_t> kvLens;
+    /** Expert routing for this iteration's tokens (size == batch). */
+    ExpertTrace trace;
+};
+
+/**
+ * Build and simulate one decoder-layer iteration. When @p sched is
+ * non-null the externally owned scheduler is reused (reset + run), so a
+ * long-lived engine pays no scheduler setup per iteration.
+ */
+SimResult runDecoderIteration(const DecoderParams& p,
+                              const IterationSpec& spec,
+                              dam::Scheduler* sched = nullptr);
+
 /** Run @p layers decoder layers (fresh graph each) and aggregate. */
 EndToEndResult runEndToEnd(const DecoderParams& p, int64_t layers,
                            uint64_t trace_seed);

@@ -77,6 +77,31 @@ mixtral8x7b()
     return c;
 }
 
+/**
+ * Mid-size configuration for the serving runtime: the same MoE/GQA shape
+ * family as the evaluation models, scaled so one batching iteration
+ * (one decoder-layer pass over the dynamic batch) simulates in
+ * milliseconds. Serving experiments run thousands of iterations, so the
+ * per-iteration graph must stay small; per-layer cycles are scaled by
+ * `numLayers` in the engine instead of simulating every layer.
+ */
+inline ModelConfig
+servingSimConfig()
+{
+    ModelConfig c;
+    c.name = "serving-sim";
+    c.hidden = 256;
+    c.moeIntermediate = 128;
+    c.numExperts = 16;
+    c.topK = 2;
+    c.numLayers = 24;
+    c.headDim = 64;
+    c.numQHeads = 4;
+    c.numKvHeads = 1;
+    c.moeMatmulBw = 256;
+    return c;
+}
+
 /** Tiny functional-test configuration (payload-carrying tiles). */
 inline ModelConfig
 tinyConfig()
