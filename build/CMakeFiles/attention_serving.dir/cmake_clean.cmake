@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_serving.dir/examples/attention_serving.cpp.o"
+  "CMakeFiles/attention_serving.dir/examples/attention_serving.cpp.o.d"
+  "attention_serving"
+  "attention_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

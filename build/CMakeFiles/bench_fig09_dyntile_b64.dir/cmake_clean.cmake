@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_dyntile_b64.dir/bench/bench_fig09_dyntile_b64.cc.o"
+  "CMakeFiles/bench_fig09_dyntile_b64.dir/bench/bench_fig09_dyntile_b64.cc.o.d"
+  "bench_fig09_dyntile_b64"
+  "bench_fig09_dyntile_b64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_dyntile_b64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

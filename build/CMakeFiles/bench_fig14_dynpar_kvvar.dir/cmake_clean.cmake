@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_dynpar_kvvar.dir/bench/bench_fig14_dynpar_kvvar.cc.o"
+  "CMakeFiles/bench_fig14_dynpar_kvvar.dir/bench/bench_fig14_dynpar_kvvar.cc.o.d"
+  "bench_fig14_dynpar_kvvar"
+  "bench_fig14_dynpar_kvvar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dynpar_kvvar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dynpar_batch.dir/bench/bench_fig15_dynpar_batch.cc.o"
+  "CMakeFiles/bench_fig15_dynpar_batch.dir/bench/bench_fig15_dynpar_batch.cc.o.d"
+  "bench_fig15_dynpar_batch"
+  "bench_fig15_dynpar_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dynpar_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_end2end.dir/bench/bench_fig17_end2end.cc.o"
+  "CMakeFiles/bench_fig17_end2end.dir/bench/bench_fig17_end2end.cc.o.d"
+  "bench_fig17_end2end"
+  "bench_fig17_end2end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_scheduling.dir/examples/moe_scheduling.cpp.o"
+  "CMakeFiles/moe_scheduling.dir/examples/moe_scheduling.cpp.o.d"
+  "moe_scheduling"
+  "moe_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_sim.dir/examples/serving_sim.cpp.o"
+  "CMakeFiles/serving_sim.dir/examples/serving_sim.cpp.o.d"
+  "serving_sim"
+  "serving_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

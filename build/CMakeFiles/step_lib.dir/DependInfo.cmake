@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/landscape.cc" "CMakeFiles/step_lib.dir/src/analysis/landscape.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/analysis/landscape.cc.o.d"
+  "/root/repo/src/analysis/pareto.cc" "CMakeFiles/step_lib.dir/src/analysis/pareto.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/analysis/pareto.cc.o.d"
+  "/root/repo/src/analysis/utilization.cc" "CMakeFiles/step_lib.dir/src/analysis/utilization.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/analysis/utilization.cc.o.d"
+  "/root/repo/src/core/codec.cc" "CMakeFiles/step_lib.dir/src/core/codec.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/core/codec.cc.o.d"
+  "/root/repo/src/core/dtype.cc" "CMakeFiles/step_lib.dir/src/core/dtype.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/core/dtype.cc.o.d"
+  "/root/repo/src/core/stream_shape.cc" "CMakeFiles/step_lib.dir/src/core/stream_shape.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/core/stream_shape.cc.o.d"
+  "/root/repo/src/core/tile.cc" "CMakeFiles/step_lib.dir/src/core/tile.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/core/tile.cc.o.d"
+  "/root/repo/src/core/value.cc" "CMakeFiles/step_lib.dir/src/core/value.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/core/value.cc.o.d"
+  "/root/repo/src/dam/channel.cc" "CMakeFiles/step_lib.dir/src/dam/channel.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/dam/channel.cc.o.d"
+  "/root/repo/src/dam/scheduler.cc" "CMakeFiles/step_lib.dir/src/dam/scheduler.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/dam/scheduler.cc.o.d"
+  "/root/repo/src/hdlref/swiglu.cc" "CMakeFiles/step_lib.dir/src/hdlref/swiglu.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/hdlref/swiglu.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "CMakeFiles/step_lib.dir/src/mem/dram.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/mem/dram.cc.o.d"
+  "/root/repo/src/mem/scratchpad.cc" "CMakeFiles/step_lib.dir/src/mem/scratchpad.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/mem/scratchpad.cc.o.d"
+  "/root/repo/src/ops/graph.cc" "CMakeFiles/step_lib.dir/src/ops/graph.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/ops/graph.cc.o.d"
+  "/root/repo/src/ops/higher_order.cc" "CMakeFiles/step_lib.dir/src/ops/higher_order.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/ops/higher_order.cc.o.d"
+  "/root/repo/src/ops/offchip.cc" "CMakeFiles/step_lib.dir/src/ops/offchip.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/ops/offchip.cc.o.d"
+  "/root/repo/src/ops/onchip.cc" "CMakeFiles/step_lib.dir/src/ops/onchip.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/ops/onchip.cc.o.d"
+  "/root/repo/src/ops/route.cc" "CMakeFiles/step_lib.dir/src/ops/route.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/ops/route.cc.o.d"
+  "/root/repo/src/ops/shape_ops.cc" "CMakeFiles/step_lib.dir/src/ops/shape_ops.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/ops/shape_ops.cc.o.d"
+  "/root/repo/src/ops/source_sink.cc" "CMakeFiles/step_lib.dir/src/ops/source_sink.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/ops/source_sink.cc.o.d"
+  "/root/repo/src/runtime/batcher.cc" "CMakeFiles/step_lib.dir/src/runtime/batcher.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/runtime/batcher.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "CMakeFiles/step_lib.dir/src/runtime/engine.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "CMakeFiles/step_lib.dir/src/runtime/metrics.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/runtime/metrics.cc.o.d"
+  "/root/repo/src/runtime/policy.cc" "CMakeFiles/step_lib.dir/src/runtime/policy.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/runtime/policy.cc.o.d"
+  "/root/repo/src/runtime/request.cc" "CMakeFiles/step_lib.dir/src/runtime/request.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/runtime/request.cc.o.d"
+  "/root/repo/src/support/rng.cc" "CMakeFiles/step_lib.dir/src/support/rng.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/support/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "CMakeFiles/step_lib.dir/src/support/stats.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/support/stats.cc.o.d"
+  "/root/repo/src/symbolic/expr.cc" "CMakeFiles/step_lib.dir/src/symbolic/expr.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/symbolic/expr.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "CMakeFiles/step_lib.dir/src/trace/trace.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/trace/trace.cc.o.d"
+  "/root/repo/src/workloads/attention.cc" "CMakeFiles/step_lib.dir/src/workloads/attention.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/workloads/attention.cc.o.d"
+  "/root/repo/src/workloads/decoder.cc" "CMakeFiles/step_lib.dir/src/workloads/decoder.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/workloads/decoder.cc.o.d"
+  "/root/repo/src/workloads/moe.cc" "CMakeFiles/step_lib.dir/src/workloads/moe.cc.o" "gcc" "CMakeFiles/step_lib.dir/src/workloads/moe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstep_lib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_metrics.dir/examples/symbolic_metrics.cpp.o"
+  "CMakeFiles/symbolic_metrics.dir/examples/symbolic_metrics.cpp.o.d"
+  "symbolic_metrics"
+  "symbolic_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dam.dir/tests/test_dam.cc.o"
+  "CMakeFiles/test_dam.dir/tests/test_dam.cc.o.d"
+  "test_dam"
+  "test_dam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

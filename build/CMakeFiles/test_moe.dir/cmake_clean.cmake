@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moe.dir/tests/test_moe.cc.o"
+  "CMakeFiles/test_moe.dir/tests/test_moe.cc.o.d"
+  "test_moe"
+  "test_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_basic.dir/tests/test_ops_basic.cc.o"
+  "CMakeFiles/test_ops_basic.dir/tests/test_ops_basic.cc.o.d"
+  "test_ops_basic"
+  "test_ops_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_memory.dir/tests/test_ops_memory.cc.o"
+  "CMakeFiles/test_ops_memory.dir/tests/test_ops_memory.cc.o.d"
+  "test_ops_memory"
+  "test_ops_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

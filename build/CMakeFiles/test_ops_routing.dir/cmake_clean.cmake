@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_routing.dir/tests/test_ops_routing.cc.o"
+  "CMakeFiles/test_ops_routing.dir/tests/test_ops_routing.cc.o.d"
+  "test_ops_routing"
+  "test_ops_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic.dir/tests/test_symbolic.cc.o"
+  "CMakeFiles/test_symbolic.dir/tests/test_symbolic.cc.o.d"
+  "test_symbolic"
+  "test_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

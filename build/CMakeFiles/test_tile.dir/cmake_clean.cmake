@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile.dir/tests/test_tile.cc.o"
+  "CMakeFiles/test_tile.dir/tests/test_tile.cc.o.d"
+  "test_tile"
+  "test_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

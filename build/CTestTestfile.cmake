@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_attention]=] "/root/repo/build/test_attention")
+set_tests_properties([=[test_attention]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_codec]=] "/root/repo/build/test_codec")
+set_tests_properties([=[test_codec]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_dam]=] "/root/repo/build/test_dam")
+set_tests_properties([=[test_dam]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_integration]=] "/root/repo/build/test_integration")
+set_tests_properties([=[test_integration]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_moe]=] "/root/repo/build/test_moe")
+set_tests_properties([=[test_moe]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_ops_basic]=] "/root/repo/build/test_ops_basic")
+set_tests_properties([=[test_ops_basic]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_ops_memory]=] "/root/repo/build/test_ops_memory")
+set_tests_properties([=[test_ops_memory]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_ops_routing]=] "/root/repo/build/test_ops_routing")
+set_tests_properties([=[test_ops_routing]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_properties]=] "/root/repo/build/test_properties")
+set_tests_properties([=[test_properties]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_runtime]=] "/root/repo/build/test_runtime")
+set_tests_properties([=[test_runtime]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_symbolic]=] "/root/repo/build/test_symbolic")
+set_tests_properties([=[test_symbolic]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_tile]=] "/root/repo/build/test_tile")
+set_tests_properties([=[test_tile]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;30;add_test;/root/repo/CMakeLists.txt;0;")
