@@ -8,8 +8,12 @@
  */
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ops/source_sink.hh"
 #include "support/table.hh"
@@ -18,6 +22,64 @@
 #include "workloads/moe.hh"
 
 namespace step::bench {
+
+/**
+ * Minimal JSON artifact writer for bench outputs (BENCH_*.json). CI
+ * uploads these so the performance trajectory accumulates run over run.
+ * Keys are emitted in insertion order; values are numbers or strings.
+ */
+class JsonReport
+{
+  public:
+    void
+    set(const std::string& key, double v)
+    {
+        std::ostringstream os;
+        os << v;
+        kv_.emplace_back(key, os.str());
+    }
+
+    void
+    set(const std::string& key, const std::string& v)
+    {
+        kv_.emplace_back(key, "\"" + v + "\"");
+    }
+
+    bool
+    writeTo(const std::string& path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << "{\n";
+        for (size_t i = 0; i < kv_.size(); ++i) {
+            out << "  \"" << kv_[i].first << "\": " << kv_[i].second
+                << (i + 1 < kv_.size() ? "," : "") << "\n";
+        }
+        out << "}\n";
+        return out.good();
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/**
+ * Parse a `--json[=path]` flag: returns the output path ("" = flag
+ * absent). A bare `--json` defaults to @p default_path.
+ */
+inline std::string
+jsonFlagPath(int argc, char** argv, const std::string& default_path)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json")
+            return default_path;
+        if (a.rfind("--json=", 0) == 0)
+            return a.substr(7);
+    }
+    return "";
+}
 
 /** One MoE-layer simulation under the given tiling/regions. */
 inline SimResult

@@ -63,19 +63,42 @@ class Nested
  * stops at the same-or-lower level flush through (empty groups).
  *
  * Coroutine-friendly: each call returns the tokens to physically emit.
+ * One writer event emits at most two tokens (a flushed stop plus the
+ * new token), so the result is an inline fixed-capacity range — the
+ * coalescer sits on every operator's emit path and must not allocate.
  */
 class StopCoalescer
 {
   public:
-    std::vector<Token>
+    /** Up to two tokens produced by one coalescer event; no heap. */
+    class Emit
+    {
+      public:
+        Token* begin() { return toks_; }
+        Token* end() { return toks_ + n_; }
+        const Token* begin() const { return toks_; }
+        const Token* end() const { return toks_ + n_; }
+        size_t size() const { return n_; }
+        bool empty() const { return n_ == 0; }
+        const Token& operator[](size_t i) const { return toks_[i]; }
+
+      private:
+        friend class StopCoalescer;
+        void push(Token t) { toks_[n_++] = std::move(t); }
+
+        Token toks_[2];
+        uint8_t n_ = 0;
+    };
+
+    Emit
     onData(Value v)
     {
-        std::vector<Token> out = flush();
-        out.push_back(Token::data(std::move(v)));
+        Emit out = flush();
+        out.push(Token::data(std::move(v)));
         return out;
     }
 
-    std::vector<Token>
+    Emit
     onToken(const Token& t)
     {
         if (t.isData())
@@ -85,10 +108,10 @@ class StopCoalescer
         return onDone();
     }
 
-    std::vector<Token>
+    Emit
     onStop(uint32_t level)
     {
-        std::vector<Token> out;
+        Emit out;
         if (pending_ && *pending_ < level) {
             pending_ = level;           // upgrade: nested ends coincide
         } else {
@@ -98,21 +121,21 @@ class StopCoalescer
         return out;
     }
 
-    std::vector<Token>
+    Emit
     onDone()
     {
-        std::vector<Token> out = flush();
-        out.push_back(Token::done());
+        Emit out = flush();
+        out.push(Token::done());
         return out;
     }
 
     /** Force out any buffered stop (used before Done or at barriers). */
-    std::vector<Token>
+    Emit
     flush()
     {
-        std::vector<Token> out;
+        Emit out;
         if (pending_) {
-            out.push_back(Token::stop(*pending_));
+            out.push(Token::stop(*pending_));
             pending_.reset();
         }
         return out;

@@ -41,15 +41,15 @@ Dim::toString() const
 }
 
 Dim
-mergeDims(const std::vector<Dim>& dims)
+mergeDims(const Dim* first, const Dim* last)
 {
     bool any_ragged = false;
     bool any_dynamic = false;
     std::vector<sym::Expr> sizes;
-    for (const auto& d : dims) {
-        any_ragged |= d.isRagged();
-        any_dynamic |= d.isDynamic();
-        sizes.push_back(d.size);
+    for (const Dim* d = first; d != last; ++d) {
+        any_ragged |= d->isRagged();
+        any_dynamic |= d->isDynamic();
+        sizes.push_back(d->size);
     }
     if (any_ragged) {
         // Absorbing property: the result is a fresh ragged dimension
@@ -60,10 +60,16 @@ mergeDims(const std::vector<Dim>& dims)
                                              : DimKind::StaticRegular};
 }
 
+Dim
+mergeDims(const std::vector<Dim>& dims)
+{
+    return mergeDims(dims.data(), dims.data() + dims.size());
+}
+
 StreamShape
 StreamShape::fixed(std::initializer_list<int64_t> sizes)
 {
-    std::vector<Dim> dims;
+    DimVec dims;
     for (int64_t s : sizes)
         dims.push_back(Dim::fixed(s));
     return StreamShape(std::move(dims));
@@ -107,13 +113,10 @@ StreamShape::flattened(size_t inner_lo, size_t inner_hi) const
     // Convert paper (inner-first) indices to vector (outer-first) indices.
     size_t v_hi = rank() - 1 - inner_lo;   // innermost of the range
     size_t v_lo = rank() - 1 - inner_hi;   // outermost of the range
-    std::vector<Dim> merged(dims_.begin() + static_cast<long>(v_lo),
-                            dims_.begin() + static_cast<long>(v_hi) + 1);
-    std::vector<Dim> out(dims_.begin(), dims_.begin() +
-                         static_cast<long>(v_lo));
-    out.push_back(mergeDims(merged));
-    out.insert(out.end(), dims_.begin() + static_cast<long>(v_hi) + 1,
-               dims_.end());
+    DimVec out(dims_.begin(), dims_.begin() + v_lo);
+    out.push_back(mergeDims(dims_.begin() + v_lo,
+                            dims_.begin() + v_hi + 1));
+    out.append(dims_.begin() + v_hi + 1, dims_.end());
     return StreamShape(std::move(out));
 }
 
@@ -121,32 +124,30 @@ StreamShape
 StreamShape::dropInner(size_t n) const
 {
     STEP_ASSERT(n <= rank(), "dropInner(" << n << ") of rank " << rank());
-    return StreamShape(std::vector<Dim>(
-        dims_.begin(), dims_.end() - static_cast<long>(n)));
+    return StreamShape(DimVec(dims_.begin(), dims_.end() - n));
 }
 
 StreamShape
 StreamShape::takeInner(size_t n) const
 {
     STEP_ASSERT(n <= rank(), "takeInner(" << n << ") of rank " << rank());
-    return StreamShape(std::vector<Dim>(
-        dims_.end() - static_cast<long>(n), dims_.end()));
+    return StreamShape(DimVec(dims_.end() - n, dims_.end()));
 }
 
 StreamShape
 StreamShape::pushOuter(Dim d) const
 {
-    std::vector<Dim> out;
+    DimVec out;
     out.push_back(std::move(d));
-    out.insert(out.end(), dims_.begin(), dims_.end());
+    out.append(dims_.begin(), dims_.end());
     return StreamShape(std::move(out));
 }
 
 StreamShape
 StreamShape::concatInner(const StreamShape& inner) const
 {
-    std::vector<Dim> out = dims_;
-    out.insert(out.end(), inner.dims_.begin(), inner.dims_.end());
+    DimVec out = dims_;
+    out.append(inner.dims_.begin(), inner.dims_.end());
     return StreamShape(std::move(out));
 }
 

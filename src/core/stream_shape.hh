@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "support/smallvec.hh"
 #include "symbolic/expr.hh"
 
 namespace step {
@@ -59,20 +60,32 @@ struct Dim
  * Combine dimensions under multiplication (e.g. Flatten): ragged absorbs,
  * dynamic-regular dominates static.
  */
+Dim mergeDims(const Dim* first, const Dim* last);
 Dim mergeDims(const std::vector<Dim>& dims);
+
+/**
+ * Dimension list with inline storage: graphs copy shapes with every
+ * StreamPort, and nearly all streams have rank <= 4, so shape copies
+ * stay off the heap.
+ */
+using DimVec = SmallVec<Dim, 4>;
 
 /** Shape of a stream: dims().front() is the outermost dimension. */
 class StreamShape
 {
   public:
     StreamShape() = default;
-    explicit StreamShape(std::vector<Dim> dims) : dims_(std::move(dims)) {}
+    explicit StreamShape(DimVec dims) : dims_(std::move(dims)) {}
+    StreamShape(std::initializer_list<Dim> dims) : dims_(dims) {}
+    explicit StreamShape(const std::vector<Dim>& dims)
+        : dims_(dims.begin(), dims.end())
+    {}
 
     /** Convenience: all-static shape, outermost first. */
     static StreamShape fixed(std::initializer_list<int64_t> sizes);
 
     size_t rank() const { return dims_.size(); }
-    const std::vector<Dim>& dims() const { return dims_; }
+    const DimVec& dims() const { return dims_; }
 
     /** Dimension by paper index: inner(0) == D_0 (innermost). */
     const Dim&
@@ -118,7 +131,7 @@ class StreamShape
     bool compatibleWith(const StreamShape& o) const;
 
   private:
-    std::vector<Dim> dims_;
+    DimVec dims_;
 };
 
 } // namespace step

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "core/value.hh"
 
@@ -45,6 +46,9 @@ class Token
     uint32_t level() const { return level_; }
 
     const Value& value() const { return value_; }
+
+    /** Move the payload out (hot paths; the token is spent afterwards). */
+    Value&& takeValue() { return std::move(value_); }
 
     /** Wire size used for FIFO bandwidth modeling. */
     int64_t

@@ -24,46 +24,6 @@ Value::tuple(std::vector<Value> elems)
     return Value(std::move(t));
 }
 
-const Tile&
-Value::tile() const
-{
-    STEP_ASSERT(isTile(), "value is not a tile: " << toString());
-    return std::get<Tile>(v_);
-}
-
-const Selector&
-Value::selector() const
-{
-    STEP_ASSERT(isSelector(), "value is not a selector: " << toString());
-    return std::get<Selector>(v_);
-}
-
-const BufferRef&
-Value::bufferRef() const
-{
-    STEP_ASSERT(isBufferRef(), "value is not a buffer ref: " << toString());
-    return std::get<BufferRef>(v_);
-}
-
-const std::vector<Value>&
-Value::tupleElems() const
-{
-    STEP_ASSERT(isTuple(), "value is not a tuple: " << toString());
-    return *std::get<TupleVal>(v_).elems;
-}
-
-int64_t
-Value::bytes() const
-{
-    if (isTile())
-        return tile().bytes();
-    if (isSelector())
-        return selector().bytes();
-    if (isBufferRef())
-        return bufferRef().bytes();
-    return std::get<TupleVal>(v_).bytes();
-}
-
 std::string
 Value::toString() const
 {

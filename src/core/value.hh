@@ -6,15 +6,27 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
+#include <new>
 #include <string>
-#include <variant>
 #include <vector>
 
 #include "core/tile.hh"
+#include "support/error.hh"
+#include "support/smallvec.hh"
 
 namespace step {
+
+/**
+ * Small-buffer-optimized index store for Selector. One-hot and top-2
+ * routing tokens — the overwhelming majority of MoE/attention traffic —
+ * fit in the two inline slots, so constructing and copying them never
+ * touches the heap; wider selectors spill to a vector.
+ */
+using IndexVec = SmallVec<uint32_t, 2>;
 
 /**
  * Multi-hot routing vector: the indices of the selected consumers or
@@ -22,11 +34,14 @@ namespace step {
  */
 struct Selector
 {
-    std::vector<uint32_t> indices;
+    IndexVec indices;
 
     Selector() = default;
-    explicit Selector(std::vector<uint32_t> idx) : indices(std::move(idx)) {}
-    static Selector oneHot(uint32_t i) { return Selector({i}); }
+    explicit Selector(IndexVec idx) : indices(std::move(idx)) {}
+    explicit Selector(const std::vector<uint32_t>& idx)
+        : indices(idx.begin(), idx.end())
+    {}
+    static Selector oneHot(uint32_t i) { return Selector(IndexVec{i}); }
 
     bool operator==(const Selector& o) const { return indices == o.indices; }
     /** Metric size: one machine word. */
@@ -58,23 +73,80 @@ struct TupleVal
 
 /**
  * A single data element travelling on a stream.
+ *
+ * Implemented as a hand-rolled tagged union rather than std::variant:
+ * tokens are moved several times per simulated channel transfer, and the
+ * open-coded switch moves (plus same-kind move-assignment reusing the
+ * destination in place, the FIFO-slot recycle case) compile to a few
+ * stores where the variant machinery dispatches through visit tables.
  */
 class Value
 {
   public:
-    Value() : v_(Tile()) {}
-    Value(Tile t) : v_(std::move(t)) {}             // NOLINT implicit
-    Value(Selector s) : v_(std::move(s)) {}         // NOLINT implicit
-    Value(BufferRef b) : v_(std::move(b)) {}        // NOLINT implicit
-    Value(TupleVal t) : v_(std::move(t)) {}         // NOLINT implicit
+    Value() : kind_(Kind::Tile), tile_() {}
+    Value(Tile t)                                   // NOLINT implicit
+        : kind_(Kind::Tile), tile_(std::move(t))
+    {}
+    Value(Selector s)                               // NOLINT implicit
+        : kind_(Kind::Selector), sel_(std::move(s))
+    {}
+    Value(BufferRef b)                              // NOLINT implicit
+        : kind_(Kind::BufferRef), buf_(b)
+    {}
+    Value(TupleVal t)                               // NOLINT implicit
+        : kind_(Kind::Tuple), tup_(std::move(t))
+    {}
+
+    Value(const Value& o) : kind_(o.kind_) { copyFrom(o); }
+
+    Value(Value&& o) noexcept : kind_(o.kind_) { moveFrom(std::move(o)); }
+
+    Value&
+    operator=(const Value& o)
+    {
+        // Copy-construct first so a throwing payload copy (functional-
+        // mode tiles allocate) cannot leave kind_ pointing at an
+        // unconstructed member; the move assign below is noexcept.
+        if (this != &o) {
+            Value tmp(o);
+            *this = std::move(tmp);
+        }
+        return *this;
+    }
+
+    Value&
+    operator=(Value&& o) noexcept
+    {
+        if (this == &o)
+            return *this;
+        if (kind_ == o.kind_) {
+            // In-place member move-assignment: the dominant case when a
+            // recycled FIFO slot receives a token of the same kind.
+            switch (kind_) {
+            case Kind::Tile:      tile_ = std::move(o.tile_); break;
+            case Kind::Selector:  sel_ = std::move(o.sel_); break;
+            case Kind::BufferRef: buf_ = o.buf_; break;
+            case Kind::Tuple:     tup_ = std::move(o.tup_); break;
+            }
+            return *this;
+        }
+        destroy();
+        kind_ = o.kind_;
+        moveFrom(std::move(o));
+        return *this;
+    }
+
+    ~Value() { destroy(); }
 
     static Value tuple(std::vector<Value> elems);
 
-    bool isTile() const { return std::holds_alternative<Tile>(v_); }
-    bool isSelector() const { return std::holds_alternative<Selector>(v_); }
-    bool isBufferRef() const { return std::holds_alternative<BufferRef>(v_); }
-    bool isTuple() const { return std::holds_alternative<TupleVal>(v_); }
+    bool isTile() const { return kind_ == Kind::Tile; }
+    bool isSelector() const { return kind_ == Kind::Selector; }
+    bool isBufferRef() const { return kind_ == Kind::BufferRef; }
+    bool isTuple() const { return kind_ == Kind::Tuple; }
 
+    // Accessors are defined inline below (per-event hot path); the
+    // assert only formats its message on failure.
     const Tile& tile() const;
     const Selector& selector() const;
     const BufferRef& bufferRef() const;
@@ -86,7 +158,88 @@ class Value
     std::string toString() const;
 
   private:
-    std::variant<Tile, Selector, BufferRef, TupleVal> v_;
+    enum class Kind : uint8_t { Tile, Selector, BufferRef, Tuple };
+
+    void
+    copyFrom(const Value& o)
+    {
+        switch (kind_) {
+        case Kind::Tile:      new (&tile_) Tile(o.tile_); break;
+        case Kind::Selector:  new (&sel_) Selector(o.sel_); break;
+        case Kind::BufferRef: new (&buf_) BufferRef(o.buf_); break;
+        case Kind::Tuple:     new (&tup_) TupleVal(o.tup_); break;
+        }
+    }
+
+    void
+    moveFrom(Value&& o) noexcept
+    {
+        switch (kind_) {
+        case Kind::Tile:      new (&tile_) Tile(std::move(o.tile_)); break;
+        case Kind::Selector:  new (&sel_) Selector(std::move(o.sel_)); break;
+        case Kind::BufferRef: new (&buf_) BufferRef(o.buf_); break;
+        case Kind::Tuple:     new (&tup_) TupleVal(std::move(o.tup_)); break;
+        }
+    }
+
+    void
+    destroy() noexcept
+    {
+        switch (kind_) {
+        case Kind::Tile:      tile_.~Tile(); break;
+        case Kind::Selector:  sel_.~Selector(); break;
+        case Kind::BufferRef: break; // trivially destructible
+        case Kind::Tuple:     tup_.~TupleVal(); break;
+        }
+    }
+
+    Kind kind_;
+    union {
+        Tile tile_;
+        Selector sel_;
+        BufferRef buf_;
+        TupleVal tup_;
+    };
 };
+
+inline const Tile&
+Value::tile() const
+{
+    STEP_ASSERT(isTile(), "value is not a tile: " << toString());
+    return tile_;
+}
+
+inline const Selector&
+Value::selector() const
+{
+    STEP_ASSERT(isSelector(), "value is not a selector: " << toString());
+    return sel_;
+}
+
+inline const BufferRef&
+Value::bufferRef() const
+{
+    STEP_ASSERT(isBufferRef(), "value is not a buffer ref: " << toString());
+    return buf_;
+}
+
+inline const std::vector<Value>&
+Value::tupleElems() const
+{
+    STEP_ASSERT(isTuple(), "value is not a tuple: " << toString());
+    return *tup_.elems;
+}
+
+inline int64_t
+Value::bytes() const
+{
+    if (isTile())
+        return tile_.bytes();
+    if (isSelector())
+        return sel_.bytes();
+    if (isBufferRef())
+        return buf_.bytes();
+    return tup_.bytes();
+}
 
 } // namespace step

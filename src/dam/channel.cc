@@ -1,18 +1,33 @@
 #include "dam/channel.hh"
 
-#include <algorithm>
-
 #include "dam/scheduler.hh"
 #include "support/error.hh"
 
 namespace step::dam {
 
 Channel::Channel(std::string name, size_t capacity, Cycle latency)
-    : name_(std::move(name)), capacity_(capacity), latency_(latency)
+    : name_(std::move(name)), capacity_(capacity), latency_(latency),
+      initCredits_(capacity)
 {
     STEP_ASSERT(capacity_ >= 1, "channel capacity must be >= 1");
-    for (size_t i = 0; i < capacity_; ++i)
-        credits_.push_back(0);
+}
+
+void
+Channel::reinit(std::string_view name, size_t capacity, Cycle latency)
+{
+    STEP_ASSERT(capacity >= 1, "channel capacity must be >= 1");
+    name_.assign(name); // reuses the string's buffer when it fits
+    capacity_ = capacity;
+    latency_ = latency;
+    entries_.clear();
+    credits_.clear();
+    initCredits_ = capacity_;
+    lastReady_ = 0;
+    producer_ = nullptr;
+    consumer_ = nullptr;
+    waitingReader_ = nullptr;
+    waitingWriter_ = nullptr;
+    totalPushed_ = 0;
 }
 
 Cycle
@@ -30,72 +45,34 @@ Channel::frontToken() const
 }
 
 void
-Channel::push(Context& writer, Token t, Cycle min_ready)
-{
-    STEP_ASSERT(!credits_.empty(), "push without credit on " << name_);
-    Cycle credit = credits_.front();
-    credits_.pop_front();
-    writer.advanceTo(credit);
-    Cycle ready = std::max(writer.now() + latency_, min_ready);
-    // FIFO ordering: a token can never become ready before its
-    // predecessor.
-    if (!entries_.empty())
-        ready = std::max(ready, entries_.back().ready);
-    entries_.push_back(Entry{ready, std::move(t)});
-    ++totalPushed_;
-    if (waitingReader_) {
-        Context* r = waitingReader_;
-        waitingReader_ = nullptr;
-        writer.scheduler()->makeReady(r);
-    }
-}
-
-Token
-Channel::pop(Context& reader)
-{
-    STEP_ASSERT(!entries_.empty(), "pop on empty channel " << name_);
-    Entry e = std::move(entries_.front());
-    entries_.pop_front();
-    reader.advanceTo(e.ready);
-    credits_.push_back(reader.now());
-    if (waitingWriter_) {
-        Context* w = waitingWriter_;
-        waitingWriter_ = nullptr;
-        reader.scheduler()->makeReady(w);
-    }
-    return std::move(e.tok);
-}
-
-void
-Channel::ReadAwaiter::await_suspend(std::coroutine_handle<>) const
-{
-    ch.waitingReader_ = &reader;
-    reader.state_ = CtxState::Blocked;
-    reader.blockReason_ = "read " + ch.name_;
-}
-
-void
-Channel::WriteAwaiter::await_suspend(std::coroutine_handle<>) const
-{
-    ch.waitingWriter_ = &writer;
-    writer.state_ = CtxState::Blocked;
-    writer.blockReason_ = "write " + ch.name_ + " (full)";
-}
-
-void
 WaitAny::await_suspend(std::coroutine_handle<>) const
 {
     for (Channel* c : chans)
         c->setWaitingReader(&self);
     self.state_ = CtxState::Blocked;
-    self.blockReason_ = "select over " + std::to_string(chans.size()) +
-                        " channels";
+    self.block_ = BlockInfo{BlockInfo::Kind::Select, nullptr, chans.size()};
 }
 
 void
 Yield::await_suspend(std::coroutine_handle<>) const
 {
     self.scheduler()->yieldRunning(&self);
+}
+
+std::string
+BlockInfo::toString() const
+{
+    switch (kind) {
+    case Kind::Read:
+        return "read " + ch->name();
+    case Kind::Write:
+        return "write " + ch->name() + " (full)";
+    case Kind::Select:
+        return "select over " + std::to_string(selectCount) + " channels";
+    case Kind::None:
+        break;
+    }
+    return "<unknown>";
 }
 
 } // namespace step::dam

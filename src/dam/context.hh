@@ -12,6 +12,7 @@
 
 namespace step::dam {
 
+class Channel;
 class Scheduler;
 
 enum class CtxState : uint8_t {
@@ -20,6 +21,24 @@ enum class CtxState : uint8_t {
     Running,
     Blocked,
     Finished,
+};
+
+/**
+ * Why a context is blocked. A tagged record instead of a formatted
+ * string: suspension is the hottest event in the simulator, so the
+ * reason is rendered lazily (by Scheduler::deadlockReport) and storing
+ * it costs two stores, no allocation.
+ */
+struct BlockInfo
+{
+    enum class Kind : uint8_t { None, Read, Write, Select };
+
+    Kind kind = Kind::None;
+    const Channel* ch = nullptr; ///< channel involved (Read/Write)
+    size_t selectCount = 0;      ///< channels waited on (Select)
+
+    /** Human-readable rendering (diagnostics only, allocates). */
+    std::string toString() const;
 };
 
 class Context
@@ -37,7 +56,7 @@ class Context
     const std::string& name() const { return name_; }
     Cycle now() const { return now_; }
     CtxState state() const { return state_; }
-    const std::string& blockReason() const { return blockReason_; }
+    const BlockInfo& blockInfo() const { return block_; }
 
     /** Local time bump: the block was busy for @p dt cycles. */
     void advance(Cycle dt) { now_ += dt; }
@@ -57,13 +76,17 @@ class Context
     friend struct WaitAny;
     friend struct Yield;
 
+    static constexpr size_t kNotQueued = ~size_t{0};
+
     std::string name_;
     Cycle now_ = 0;
     CtxState state_ = CtxState::NotStarted;
-    std::string blockReason_;
+    BlockInfo block_;
     Scheduler* sched_ = nullptr;
     SimTask task_;
     uint64_t id_ = 0;
+    /** Slot in the scheduler's ready heap; kNotQueued when absent. */
+    size_t heapPos_ = kNotQueued;
 };
 
 } // namespace step::dam

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "dam/channel.hh"
 #include "support/error.hh"
 
 namespace step::dam {
@@ -16,20 +17,20 @@ Scheduler::add(Context* ctx)
     contexts_.push_back(ctx);
 }
 
-void
-Scheduler::enqueue(Context* ctx)
+Context*
+Scheduler::popMin()
 {
-    ready_.push(QEntry{ctx->now(), seq_++, ctx});
-}
-
-void
-Scheduler::makeReady(Context* ctx)
-{
-    if (ctx->state_ == CtxState::Blocked) {
-        ctx->state_ = CtxState::Ready;
-        ctx->blockReason_.clear();
-        enqueue(ctx);
+    STEP_ASSERT(!heap_.empty(), "popMin on empty ready heap");
+    Context* ctx = heap_.front().ctx;
+    ctx->heapPos_ = Context::kNotQueued;
+    HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_.front() = last;
+        last.ctx->heapPos_ = 0;
+        siftDown(0);
     }
+    return ctx;
 }
 
 void
@@ -41,36 +42,38 @@ Scheduler::yieldRunning(Context* ctx)
     enqueue(ctx);
 }
 
-Cycle
+std::optional<Cycle>
 Scheduler::minReadyClock(const Context* self) const
 {
-    Cycle best = ~Cycle{0};
-    for (const Context* c : contexts_) {
-        if (c == self)
-            continue;
-        if (c->state_ == CtxState::Ready && c->now() < best)
-            best = c->now();
-    }
-    return best;
+    if (heap_.empty())
+        return std::nullopt;
+    STEP_ASSERT(heap_.front().ctx != self,
+                "minReadyClock caller is in the ready heap");
+    return heap_.front().time;
 }
 
 void
-Scheduler::run()
+Scheduler::start()
 {
     finished_ = 0;
+    heap_.reserve(contexts_.size());
     for (Context* ctx : contexts_) {
         ctx->task_ = ctx->run();
         ctx->state_ = CtxState::Ready;
         enqueue(ctx);
     }
+}
 
+void
+Scheduler::drain()
+{
     while (finished_ < contexts_.size()) {
-        if (ready_.empty())
+        if (heap_.empty())
             stepFatal("simulation deadlock:\n" << deadlockReport());
-        Context* ctx = ready_.top().ctx;
-        ready_.pop();
-        if (ctx->state_ != CtxState::Ready)
-            continue; // stale queue entry
+        Context* ctx = popMin();
+        STEP_ASSERT(ctx->state_ == CtxState::Ready,
+                    "non-ready context " << ctx->name()
+                    << " in ready heap");
         ctx->state_ = CtxState::Running;
         ctx->task_.resume();
         if (ctx->task_.done()) {
@@ -88,10 +91,23 @@ Scheduler::run()
 }
 
 void
+Scheduler::run()
+{
+    start();
+    drain();
+}
+
+void
 Scheduler::reset()
 {
+    // Deliberately no per-context bookkeeping: after an abnormal run
+    // (deadlock throw) the caller may have destroyed the contexts still
+    // sitting in the heap, so their pointers must not be dereferenced.
+    // A forgotten context can never be re-enqueued here (add() only
+    // accepts NotStarted contexts, which are born with heapPos_ clear),
+    // so dropping the heap wholesale is safe.
     contexts_.clear();
-    ready_ = {};
+    heap_.clear();
     seq_ = 0;
     finished_ = 0;
 }
@@ -111,9 +127,8 @@ Scheduler::deadlockReport() const
     std::ostringstream os;
     for (const Context* c : contexts_) {
         if (c->state_ != CtxState::Finished) {
-            os << "  [" << c->name() << "] t=" << c->now() << " blocked on "
-               << (c->blockReason_.empty() ? "<unknown>" : c->blockReason_)
-               << "\n";
+            os << "  [" << c->name() << "] t=" << c->now()
+               << " blocked on " << c->block_.toString() << "\n";
         }
     }
     return os.str();

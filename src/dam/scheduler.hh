@@ -4,12 +4,16 @@
  * context with the smallest local clock, which keeps context clocks close
  * together (important for shared-resource contention modeling and for
  * availability-ordered merges) and makes runs deterministic.
+ *
+ * The ready queue is an index-tracking binary min-heap: each context
+ * records its heap slot, so there are never stale entries, re-keying is
+ * O(log n), and the minimum ready clock is an O(1) root read instead of
+ * an O(n) scan.
  */
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <queue>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,8 +32,20 @@ class Scheduler
     /**
      * Run until every context finishes. Throws FatalError with a blocked-
      * context report on deadlock, and PanicError if a context body threw.
+     * Equivalent to start() followed by drain().
      */
     void run();
+
+    /**
+     * Create every context's coroutine and mark it ready, without
+     * executing any event. Splitting start from drain lets callers (e.g.
+     * the allocation-counting benches) measure the steady-state event
+     * loop separately from coroutine-frame setup.
+     */
+    void start();
+
+    /** Execute events until every started context finishes. */
+    void drain();
 
     /**
      * Forget all registered contexts so the scheduler can be reused for
@@ -48,31 +64,107 @@ class Scheduler
     /** Requeue the currently running context (used by Yield). */
     void yieldRunning(Context* ctx);
 
-    /** Smallest clock among ready contexts other than @p self. */
-    Cycle minReadyClock(const Context* self) const;
+    /**
+     * Smallest clock among ready contexts, or nullopt when none is
+     * ready. Meaningful from a running context (which is never in the
+     * ready heap), so @p self never shadows the result; the parameter is
+     * asserted against the root defensively.
+     */
+    std::optional<Cycle> minReadyClock(const Context* self) const;
 
     size_t numContexts() const { return contexts_.size(); }
 
   private:
     void enqueue(Context* ctx);
+    Context* popMin();
+    void siftUp(size_t i);
+    void siftDown(size_t i);
     std::string deadlockReport() const;
 
-    struct QEntry
+    struct HeapEntry
     {
         Cycle time;
         uint64_t seq;
         Context* ctx;
         bool
-        operator>(const QEntry& o) const
+        operator<(const HeapEntry& o) const
         {
-            return time != o.time ? time > o.time : seq > o.seq;
+            return time != o.time ? time < o.time : seq < o.seq;
         }
     };
 
     std::vector<Context*> contexts_;
-    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> ready_;
+    std::vector<HeapEntry> heap_;
     uint64_t seq_ = 0;
     size_t finished_ = 0;
 };
+
+// ---- hot-path inline definitions --------------------------------------
+// makeReady runs on every channel wake; keep it and the heap primitives
+// header-inline so the wake path costs a few stores plus a sift.
+
+inline void
+Scheduler::siftUp(size_t i)
+{
+    HeapEntry e = heap_[i];
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!(e < heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        heap_[i].ctx->heapPos_ = i;
+        i = parent;
+    }
+    heap_[i] = e;
+    e.ctx->heapPos_ = i;
+}
+
+inline void
+Scheduler::siftDown(size_t i)
+{
+    HeapEntry e = heap_[i];
+    const size_t n = heap_.size();
+    while (true) {
+        size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heap_[child + 1] < heap_[child])
+            ++child;
+        if (!(heap_[child] < e))
+            break;
+        heap_[i] = heap_[child];
+        heap_[i].ctx->heapPos_ = i;
+        i = child;
+    }
+    heap_[i] = e;
+    e.ctx->heapPos_ = i;
+}
+
+inline void
+Scheduler::enqueue(Context* ctx)
+{
+    if (ctx->heapPos_ != Context::kNotQueued) {
+        // Re-key in place (defensive; state transitions make duplicate
+        // enqueues impossible in the current call graph).
+        size_t i = ctx->heapPos_;
+        heap_[i].time = ctx->now();
+        heap_[i].seq = seq_++;
+        siftUp(i);
+        siftDown(ctx->heapPos_);
+        return;
+    }
+    heap_.push_back(HeapEntry{ctx->now(), seq_++, ctx});
+    siftUp(heap_.size() - 1);
+}
+
+inline void
+Scheduler::makeReady(Context* ctx)
+{
+    if (ctx->state_ == CtxState::Blocked) {
+        ctx->state_ = CtxState::Ready;
+        ctx->block_ = BlockInfo{};
+        enqueue(ctx);
+    }
+}
 
 } // namespace step::dam

@@ -50,6 +50,18 @@ class HbmBankModel : public MemModel
     uint64_t rowHits() const { return rowHits_; }
     uint64_t rowMisses() const { return rowMisses_; }
 
+    void
+    reset() override
+    {
+        resetStats();
+        for (auto& t : channelFree_)
+            t = 0;
+        for (auto& b : banks_)
+            b = Bank{};
+        rowHits_ = 0;
+        rowMisses_ = 0;
+    }
+
   private:
     struct Bank
     {

@@ -65,6 +65,12 @@ class MemModel
     const MemStats& stats() const { return stats_; }
     void resetStats() { stats_ = MemStats{}; }
 
+    /**
+     * Return the model to its initial state (stats and timing
+     * resources) so a recycled graph starts from a cold device.
+     */
+    virtual void reset() { resetStats(); }
+
   protected:
     MemStats stats_;
 };
@@ -99,6 +105,22 @@ class SimpleBwModel : public MemModel
     }
 
     int64_t bandwidth() const { return bw_; }
+
+    void
+    reset() override
+    {
+        resetStats();
+        busyUnits_ = 0;
+    }
+
+    /** reset() plus new parameters, in place (graph recycling). */
+    void
+    reinit(int64_t bytes_per_cycle, dam::Cycle latency)
+    {
+        bw_ = bytes_per_cycle;
+        latency_ = latency;
+        reset();
+    }
 
   private:
     int64_t bw_;

@@ -72,6 +72,21 @@ class Scratchpad
     uint64_t numAllocs() const { return nextId_; }
     size_t numLive() const { return buffers_.size(); }
 
+    /** Drop all buffers and watermarks (graph recycling). */
+    void
+    reset()
+    {
+        buffers_.clear();
+        allocPages_.clear();
+        nextId_ = 0;
+        liveBytes_ = 0;
+        liveAllocated_ = 0;
+        liveMeta_ = 0;
+        peakBytes_ = 0;
+        peakAllocated_ = 0;
+        peakMeta_ = 0;
+    }
+
     const ScratchpadConfig& config() const { return cfg_; }
 
   private:

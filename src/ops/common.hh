@@ -97,11 +97,40 @@ class OpBase : public dam::Context
                               bool in_via_memory,
                               bool out_via_memory) const;
 
+    /**
+     * Memoized rooflineCycles for the regular-stream common case: most
+     * operators process identically-shaped elements, so the (division-
+     * heavy) roofline evaluates to the same cycle count every event.
+     * Keyed on everything that varies at run time; bandwidths and the
+     * via-memory flags are fixed per operator lifetime.
+     */
+    dam::Cycle
+    rooflineCyclesMemo(int64_t in_bytes, int64_t flops, int64_t out_bytes,
+                       int64_t compute_bw, bool in_via_memory,
+                       bool out_via_memory)
+    {
+        if (in_bytes == memoIn_ && flops == memoFlops_ &&
+            out_bytes == memoOut_)
+            return memoDt_;
+        memoIn_ = in_bytes;
+        memoFlops_ = flops;
+        memoOut_ = out_bytes;
+        memoDt_ = rooflineCycles(in_bytes, flops, out_bytes, compute_bw,
+                                 in_via_memory, out_via_memory);
+        return memoDt_;
+    }
+
     Graph& graph_;
     int64_t flops_ = 0;
     int64_t onChipPeak_ = 0;
     uint64_t elements_ = 0;
     dam::Cycle busy_ = 0;
+
+  private:
+    int64_t memoIn_ = -1;
+    int64_t memoFlops_ = -1;
+    int64_t memoOut_ = -1;
+    dam::Cycle memoDt_ = 0;
 };
 
 /** Emit every token of a StopCoalescer result (coroutine bodies only). */

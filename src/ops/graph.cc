@@ -26,21 +26,89 @@ OpBase::rooflineCycles(int64_t in_bytes, int64_t flops, int64_t out_bytes,
     return static_cast<dam::Cycle>(cycles);
 }
 
-Graph::Graph(SimConfig cfg)
-    : cfg_(cfg),
+Graph::Graph(SimConfig cfg, GraphArena* arena)
+    : cfg_(cfg), arena_(arena),
       mem_(std::make_unique<SimpleBwModel>(cfg.offChipBwBytesPerCycle,
                                            cfg.offChipLatency))
 {}
 
-Graph::~Graph() = default;
+Graph::~Graph()
+{
+    destroyOps();
+}
+
+void
+Graph::destroyOps()
+{
+    // Reverse construction order, mirroring what member unique_ptrs in
+    // a struct would do.
+    for (size_t i = ops_.size(); i-- > 0;) {
+        if (arena_)
+            ops_[i]->~OpBase(); // virtual dtor; storage stays in arena
+        else
+            delete ops_[i];
+    }
+    ops_.clear();
+}
 
 dam::Channel&
-Graph::makeChannel(const std::string& name, size_t capacity_override)
+Graph::makeChannel(std::string_view name, size_t capacity_override)
 {
-    channels_.push_back(std::make_unique<dam::Channel>(
-        name, capacity_override ? capacity_override : cfg_.channelCapacity,
-        cfg_.channelLatency));
+    size_t cap = capacity_override ? capacity_override
+                                   : cfg_.channelCapacity;
+    if (arena_)
+        name = arena_->names.intern(name);
+    std::unique_ptr<dam::Channel> ch;
+    if (!channelPool_.empty()) {
+        ch = std::move(channelPool_.back());
+        channelPool_.pop_back();
+        ch->reinit(name, cap, cfg_.channelLatency);
+    } else {
+        ch = std::make_unique<dam::Channel>(std::string(name), cap,
+                                            cfg_.channelLatency);
+    }
+    channels_.push_back(ch.get());
+    channelStore_.push_back(std::move(ch));
     return *channels_.back();
+}
+
+void
+Graph::recycle(const SimConfig& cfg)
+{
+    STEP_ASSERT(arena_, "Graph::recycle requires an arena-backed graph");
+    destroyOps();
+    arena_->mem.reset();
+    channels_.clear();
+    // LIFO pooling: a structurally stable rebuild pops channels in a
+    // fixed order, so each logical channel settles onto one pooled
+    // object whose name/ring storage already fits.
+    while (!channelStore_.empty()) {
+        channelPool_.push_back(std::move(channelStore_.back()));
+        channelStore_.pop_back();
+    }
+    cfg_ = cfg;
+    if (customMem_) {
+        // A user-installed model is reset in place; it does not derive
+        // from SimConfig.
+        mem_->reset();
+    } else {
+        // Re-arm the default model with the new config's parameters in
+        // place (no allocation) so a recycled build matches a fresh
+        // Graph(cfg) exactly even when off-chip parameters change.
+        static_cast<SimpleBwModel*>(mem_.get())
+            ->reinit(cfg_.offChipBwBytesPerCycle, cfg_.offChipLatency);
+    }
+    spad_.reset();
+    ran_ = false;
+}
+
+uint64_t
+Graph::totalChannelTokens() const
+{
+    uint64_t n = 0;
+    for (const dam::Channel* ch : channels_)
+        n += ch->totalPushed();
+    return n;
 }
 
 sym::Expr
@@ -75,8 +143,8 @@ Graph::run(dam::Scheduler& sched)
     ran_ = true;
 
     sched.reset();
-    for (auto& op : ops_)
-        sched.add(op.get());
+    for (OpBase* op : ops_)
+        sched.add(op);
     sched.run();
 
     SimResult res;

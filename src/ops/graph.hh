@@ -10,12 +10,14 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dam/scheduler.hh"
 #include "mem/mem_model.hh"
 #include "mem/scratchpad.hh"
 #include "ops/common.hh"
+#include "support/arena.hh"
 
 namespace step {
 
@@ -56,7 +58,14 @@ struct SimResult
 class Graph
 {
   public:
-    explicit Graph(SimConfig cfg = {});
+    /**
+     * @param cfg   timing parameters
+     * @param arena optional recycling backend. When set, operators are
+     *              bump-allocated from it, channel names are interned in
+     *              it, and recycle() rewinds the whole build; the arena
+     *              must outlive the graph.
+     */
+    explicit Graph(SimConfig cfg = {}, GraphArena* arena = nullptr);
     ~Graph();
 
     Graph(const Graph&) = delete;
@@ -69,19 +78,40 @@ class Graph
     OpT&
     add(Args&&... args)
     {
-        auto op = std::make_unique<OpT>(*this, std::forward<Args>(args)...);
-        OpT& ref = *op;
-        ops_.push_back(std::move(op));
-        return ref;
+        OpT* op;
+        if (arena_) {
+            void* p = arena_->mem.allocate(sizeof(OpT), alignof(OpT));
+            op = new (p) OpT(*this, std::forward<Args>(args)...);
+        } else {
+            op = new OpT(*this, std::forward<Args>(args)...);
+        }
+        ops_.push_back(op);
+        return *op;
     }
 
     /** Create a channel owned by the graph. */
-    dam::Channel& makeChannel(const std::string& name,
+    dam::Channel& makeChannel(std::string_view name,
                               size_t capacity_override = 0);
+
+    /**
+     * Tear down the current build for reuse (arena-backed graphs only):
+     * operator destructors run in reverse order, the arena rewinds,
+     * channels return to a pool for reinit, and the memory models reset.
+     * The next build bump-allocates through the retained blocks, reuses
+     * pooled channel storage, and hits the interned name pool — so
+     * steady-state rebuilds of a structurally stable graph stop paying
+     * per-node heap allocation.
+     */
+    void recycle(const SimConfig& cfg);
 
     /** Off-chip memory model (default: SimpleBwModel per SimConfig). */
     MemModel& memModel() { return *mem_; }
-    void setMemModel(std::unique_ptr<MemModel> m) { mem_ = std::move(m); }
+    void
+    setMemModel(std::unique_ptr<MemModel> m)
+    {
+        mem_ = std::move(m);
+        customMem_ = true;
+    }
 
     Scratchpad& scratchpad() { return spad_; }
 
@@ -90,7 +120,7 @@ class Graph
     /** Sum of per-operator on-chip requirement expressions. */
     sym::Expr onChipMemExpr() const;
 
-    /** Run the simulation; callable once per graph. */
+    /** Run the simulation; callable once per graph build. */
     SimResult run();
 
     /**
@@ -100,13 +130,23 @@ class Graph
      */
     SimResult run(dam::Scheduler& sched);
 
-    const std::vector<std::unique_ptr<OpBase>>& ops() const { return ops_; }
+    const std::vector<OpBase*>& ops() const { return ops_; }
+
+    /** Total tokens pushed across all channels (event count). */
+    uint64_t totalChannelTokens() const;
 
   private:
+    void destroyOps();
+
     SimConfig cfg_;
-    std::vector<std::unique_ptr<OpBase>> ops_;
-    std::vector<std::unique_ptr<dam::Channel>> channels_;
+    GraphArena* arena_ = nullptr;
+    std::vector<OpBase*> ops_;
+    /** Live channels of the current build (owned via store/pool). */
+    std::vector<dam::Channel*> channels_;
+    std::vector<std::unique_ptr<dam::Channel>> channelStore_;
+    std::vector<std::unique_ptr<dam::Channel>> channelPool_;
     std::unique_ptr<MemModel> mem_;
+    bool customMem_ = false;
     Scratchpad spad_;
     bool ran_ = false;
 };

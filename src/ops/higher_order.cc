@@ -28,6 +28,8 @@ MapOp::MapOp(Graph& g, const std::string& name, std::vector<StreamPort> ins,
     out_ = StreamPort{&g.makeChannel(name + ".out"), ins_[0].shape,
                       std::move(out_dtype)};
     out_.ch->setProducer(this);
+    // Reserve at build time so the per-element path never allocates.
+    argScratch_.reserve(ins_.size());
 }
 
 void
@@ -56,12 +58,19 @@ MapOp::run()
             if (t0.isData()) {
                 ++elements_;
                 int64_t flops = 0;
-                std::vector<Value> args{t0.value(), t1.value()};
+                // In-place assignment (not clear+push) so the scratch
+                // slots move-assign same-kind values with no
+                // destroy/construct cycle.
+                if (argScratch_.size() != 2)
+                    argScratch_.resize(2);
+                argScratch_[0] = t0.takeValue();
+                argScratch_[1] = t1.takeValue();
+                const std::vector<Value>& args = argScratch_;
                 Value out = fn_(args, flops);
                 flops_ += flops;
                 int64_t in_bytes = args[0].bytes() + args[1].bytes();
                 dam::Cycle dt = std::max<dam::Cycle>(
-                    1, rooflineCycles(in_bytes, flops, out.bytes(),
+                    1, rooflineCyclesMemo(in_bytes, flops, out.bytes(),
                                       computeBw_, false, false));
                 busyAdvance(dt);
                 if (weightInput_ >= 0) {
@@ -80,11 +89,14 @@ MapOp::run()
         } else if (t0.isData()) {
             ++elements_;
             int64_t flops = 0;
-            std::vector<Value> args{t0.value()};
+            if (argScratch_.size() != 1)
+                argScratch_.resize(1);
+            argScratch_[0] = t0.takeValue();
+            const std::vector<Value>& args = argScratch_;
             Value out = fn_(args, flops);
             flops_ += flops;
             dam::Cycle dt = std::max<dam::Cycle>(
-                1, rooflineCycles(args[0].bytes(), flops, out.bytes(),
+                1, rooflineCyclesMemo(args[0].bytes(), flops, out.bytes(),
                                   computeBw_, false, false));
             busyAdvance(dt);
             STEP_EMIT_RAW(out_.ch, Token::data(std::move(out)));
@@ -138,7 +150,7 @@ AccumOp::run()
             flops_ += flops;
             onChipPeak_ = std::max(onChipPeak_, state.bytes());
             dam::Cycle dt = std::max<dam::Cycle>(
-                1, rooflineCycles(in_bytes, flops, 0, computeBw_, false,
+                1, rooflineCyclesMemo(in_bytes, flops, 0, computeBw_, false,
                                   false));
             busyAdvance(dt);
         } else if (t.isStop()) {
@@ -193,7 +205,7 @@ ScanOp::run()
             flops_ += flops;
             onChipPeak_ = std::max(onChipPeak_, state.bytes());
             dam::Cycle dt = std::max<dam::Cycle>(
-                1, rooflineCycles(in_bytes, flops, state.bytes(),
+                1, rooflineCyclesMemo(in_bytes, flops, state.bytes(),
                                   computeBw_, false, false));
             busyAdvance(dt);
             STEP_EMIT_RAW(out_.ch, Token::data(state));
@@ -241,10 +253,12 @@ FlatMapOp::run()
         if (t.isData()) {
             ++elements_;
             int64_t flops = 0;
-            std::vector<Token> expansion = fn_(t.value(), flops);
+            expScratch_.clear();
+            fn_(t.value(), expScratch_, flops);
+            const std::vector<Token>& expansion = expScratch_;
             flops_ += flops;
             busyAdvance(std::max<dam::Cycle>(
-                1, rooflineCycles(t.value().bytes(), flops, 0, computeBw_,
+                1, rooflineCyclesMemo(t.value().bytes(), flops, 0, computeBw_,
                                   false, false)));
             for (auto& et : expansion) {
                 STEP_ASSERT(!et.isDone() && (!et.isStop() ||
@@ -489,14 +503,12 @@ attnFinish()
 FlatMapFn
 retileStreamify(int64_t chunk_rows)
 {
-    return [chunk_rows](const Value& v, int64_t&) -> std::vector<Token> {
+    return [chunk_rows](const Value& v, std::vector<Token>& out, int64_t&) {
         const Tile& t = v.tile();
-        std::vector<Token> out;
         for (int64_t r = 0; r < t.rows(); r += chunk_rows) {
             out.push_back(Token::data(
                 sliceRows(t, r, std::min(r + chunk_rows, t.rows()))));
         }
-        return out;
     };
 }
 

@@ -23,9 +23,13 @@ using AccumInitFn = std::function<Value()>;
 using AccumUpdateFn =
     std::function<Value(const Value& in, Value state, int64_t& flops)>;
 
-/** Element expansion: returns a rank-b sub-stream (stops < b allowed). */
-using FlatMapFn =
-    std::function<std::vector<Token>(const Value&, int64_t& flops)>;
+/**
+ * Element expansion: appends a rank-b sub-stream (stops < b allowed) to
+ * @p out. The operator clears and reuses one scratch vector across
+ * elements, so expansion performs no steady-state allocation.
+ */
+using FlatMapFn = std::function<void(const Value&, std::vector<Token>& out,
+                                     int64_t& flops)>;
 
 /**
  * Map applies an element-wise function without changing the stream shape.
@@ -60,6 +64,8 @@ class MapOp : public OpBase
     StreamPort out_;
     int weightInput_ = -1;
     sym::Expr onChipExpr_ = sym::Expr(0);
+    /** Per-element argument pack (capacity reused across events). */
+    std::vector<Value> argScratch_;
 };
 
 /**
@@ -153,6 +159,8 @@ class FlatMapOp : public OpBase
     int64_t computeBw_;
     StreamPort out_;
     StopCoalescer coal_;
+    /** Expansion scratch (capacity reused across events). */
+    std::vector<Token> expScratch_;
 };
 
 // ---------------------------------------------------------------------

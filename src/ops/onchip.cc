@@ -17,7 +17,8 @@ BufferizeOp::BufferizeOp(Graph& g, const std::string& name, StreamPort in,
                 "bufferize rank " << rank_ << " of input rank "
                 << in_.rank() << " in " << name);
     in_.ch->setConsumer(this);
-    std::vector<Dim> buf_dims = in_.shape.takeInner(rank_).dims();
+    StreamShape taken = in_.shape.takeInner(rank_);
+    std::vector<Dim> buf_dims(taken.dims().begin(), taken.dims().end());
     out_ = StreamPort{&g.makeChannel(name + ".out"),
                       in_.shape.dropInner(rank_),
                       DataType::bufferRef(buf_dims, in_.dtype)};

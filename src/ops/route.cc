@@ -135,6 +135,8 @@ ReassembleOp::ReassembleOp(Graph& g, const std::string& name,
     out_ = StreamPort{&g.makeChannel(name + ".out"), std::move(out_shape),
                       ins_[0].dtype};
     out_.ch->setProducer(this);
+    // Reserve at build time so per-selection routing never allocates.
+    selScratch_.reserve(ins_.size());
 }
 
 dam::SimTask
@@ -147,7 +149,9 @@ ReassembleOp::run()
         Token ts = co_await sel_.ch->read(*this);
         if (ts.isData()) {
             ++elements_;
-            std::vector<uint32_t> sel = ts.value().selector().indices;
+            const IndexVec& picked = ts.value().selector().indices;
+            selScratch_.assign(picked.begin(), picked.end());
+            std::vector<uint32_t>& sel = selScratch_;
             // Collect in availability order: inputs whose head token is
             // already present go first (by ready time), the rest last.
             std::stable_sort(sel.begin(), sel.end(),
@@ -223,6 +227,9 @@ EagerMergeOp::EagerMergeOp(Graph& g, const std::string& name,
                          DataType::selector(
                              static_cast<int64_t>(ins_.size()))};
     selOut_.ch->setProducer(this);
+    // Reserve at build time so re-blocking never allocates.
+    waitScratch_.reserve(ins_.size());
+    done_.assign(ins_.size(), false);
 }
 
 int
@@ -246,28 +253,28 @@ dam::SimTask
 EagerMergeOp::run()
 {
     const auto b = static_cast<uint32_t>(rank_);
-    std::vector<bool> done(ins_.size(), false);
+    std::vector<bool>& done = done_;
     size_t remaining = ins_.size();
     int patience = 0;
     while (remaining > 0) {
         int pick = pickAvailable(done);
         if (pick < 0) {
             STEP_EMIT(out_.ch, coal_.flush());
-            std::vector<dam::Channel*> chans;
+            waitScratch_.clear();
             for (size_t i = 0; i < ins_.size(); ++i)
                 if (!done[i])
-                    chans.push_back(ins_[i].ch);
+                    waitScratch_.push_back(ins_[i].ch);
             // Named awaiter: GCC 12 mis-destroys temporary awaiter
             // objects with non-trivial members (double free).
-            dam::WaitAny any_waiter{std::move(chans), *this};
+            dam::WaitAny any_waiter{waitScratch_, *this};
             co_await any_waiter;
             continue;
         }
         // Let producers with earlier clocks act first so "arrival order"
         // approximates hardware availability (bounded retries).
-        if (patience < 64 &&
-            scheduler()->minReadyClock(this) <
-                ins_[static_cast<size_t>(pick)].ch->frontTime()) {
+        std::optional<dam::Cycle> other = scheduler()->minReadyClock(this);
+        if (patience < 64 && other &&
+            *other < ins_[static_cast<size_t>(pick)].ch->frontTime()) {
             ++patience;
             co_await dam::Yield{*this};
             continue;

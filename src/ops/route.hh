@@ -60,6 +60,8 @@ class ReassembleOp : public OpBase
     size_t rank_;
     StreamPort out_;
     StopCoalescer coal_;
+    /** Per-selection scratch (capacity reused across events). */
+    std::vector<uint32_t> selScratch_;
 };
 
 /**
@@ -87,6 +89,10 @@ class EagerMergeOp : public OpBase
     StreamPort out_;
     StreamPort selOut_;
     StopCoalescer coal_;
+    /** Re-block scratch for WaitAny (capacity reused across events). */
+    std::vector<dam::Channel*> waitScratch_;
+    /** Per-input exhaustion flags; sized at build (run() runs once). */
+    std::vector<bool> done_;
 };
 
 /**

@@ -67,15 +67,14 @@ ReshapeOp::ReshapeOp(Graph& g, const std::string& name, StreamPort in,
     in_.ch->setConsumer(this);
 
     // Split inner(rank): [..., D, ...] -> [..., ceil(D/S), S, ...].
-    std::vector<Dim> dims = in_.shape.dims();
+    DimVec dims = in_.shape.dims();
     size_t vidx = in_.rank() - 1 - rank_;
     Dim d = dims[static_cast<size_t>(vidx)];
     Dim outer{sym::ceilDiv(d.size, sym::Expr(chunk_)), d.kind};
     if (d.isRagged())
         outer = Dim::ragged();
     dims[vidx] = outer;
-    dims.insert(dims.begin() + static_cast<long>(vidx) + 1,
-                Dim::fixed(chunk_));
+    dims.insert(vidx + 1, Dim::fixed(chunk_));
     out_ = StreamPort{&g.makeChannel(name + ".out"), StreamShape(dims),
                       in_.dtype};
     out_.ch->setProducer(this);
@@ -290,7 +289,7 @@ ExpandStaticOp::ExpandStaticOp(Graph& g, const std::string& name,
 {
     STEP_ASSERT(count_ >= 1, "expand count must be >= 1");
     in_.ch->setConsumer(this);
-    std::vector<Dim> dims = in_.shape.dims();
+    DimVec dims = in_.shape.dims();
     STEP_ASSERT(!dims.empty(), "expand on rank-0 stream");
     Dim& inner = dims.back();
     inner = Dim{inner.size * sym::Expr(count_), inner.kind};
@@ -422,7 +421,7 @@ FilterOp::FilterOp(Graph& g, const std::string& name, StreamPort in,
 {
     in_.ch->setConsumer(this);
     mask_.ch->setConsumer(this);
-    std::vector<Dim> dims = in_.shape.dims();
+    DimVec dims = in_.shape.dims();
     STEP_ASSERT(!dims.empty(), "filter on rank-0 stream");
     dims.back() = Dim::ragged();
     out_ = StreamPort{&g.makeChannel(name + ".out"), StreamShape(dims),

@@ -19,9 +19,11 @@ SourceOp::SourceOp(Graph& g, const std::string& name,
 dam::SimTask
 SourceOp::run()
 {
+    // A context body runs exactly once, so the pre-materialized tokens
+    // can be moved out instead of copied.
     for (auto& t : toks_) {
         busyAdvance(ii_);
-        STEP_EMIT_RAW(out_.ch, t);
+        STEP_EMIT_RAW(out_.ch, std::move(t));
     }
     co_return;
 }

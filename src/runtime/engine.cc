@@ -132,7 +132,12 @@ ServingEngine::run(std::vector<Request>& reqs)
             dp.computeBwPerMatmul = std::max<int64_t>(
                 16, split.decodeBw / decode_units);
             dp.cfg.moeMatmulBw = dp.computeBwPerMatmul;
-            SimResult sim = runDecoderIteration(dp, spec, &sched_);
+            if (cfg_.recycleGraphs && !iterGraph_)
+                iterGraph_ = std::make_unique<Graph>(SimConfig{},
+                                                     &arena_);
+            SimResult sim = runDecoderIteration(
+                dp, spec, &sched_,
+                cfg_.recycleGraphs ? iterGraph_.get() : nullptr);
             iter_cycles = sim.cycles * static_cast<dam::Cycle>(
                 cfg_.numLayers);
             decode_flops = sim.totalFlops * cfg_.numLayers;

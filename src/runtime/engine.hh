@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "analysis/utilization.hh"
@@ -45,6 +46,14 @@ struct EngineConfig
     BatcherConfig batcher; ///< kvBytesPerToken 0 = derive from model
     SloConfig slo;
     uint64_t seed = 42;
+
+    /**
+     * Recycle one arena-backed decoder graph across batching iterations
+     * instead of rebuilding from the heap each time (see
+     * Graph::recycle). Metrics are identical either way; the rebuild
+     * path remains for A/B verification.
+     */
+    bool recycleGraphs = true;
 
     EngineConfig();
 };
@@ -79,6 +88,8 @@ class ServingEngine
     EngineConfig cfg_;
     const Policy& policy_;
     dam::Scheduler sched_; ///< reused across per-iteration graphs
+    GraphArena arena_;     ///< backs the recycled iteration graph
+    std::unique_ptr<Graph> iterGraph_; ///< lazily created when recycling
 };
 
 } // namespace step::runtime

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fixed-capacity-friendly ring buffer used for channel entry/credit
+ * storage. Unlike std::deque it never allocates per push in steady
+ * state: storage is a single power-of-two array that is reused in place,
+ * growing (amortized, doubling) only when the occupancy high-water mark
+ * rises. Channels reserve their full FIFO depth up front, so simulation
+ * push/pop is allocation-free.
+ *
+ * Elements must be default-constructible; pop_front() does not destroy
+ * the slot (callers move the payload out), so slots are recycled by
+ * assignment.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "support/error.hh"
+
+namespace step {
+
+template <typename T>
+class Ring
+{
+  public:
+    Ring() = default;
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    size_t capacity() const { return cap_; }
+
+    T&
+    front()
+    {
+        STEP_ASSERT(size_ > 0, "front() on empty ring");
+        return buf_[head_];
+    }
+
+    const T&
+    front() const
+    {
+        STEP_ASSERT(size_ > 0, "front() on empty ring");
+        return buf_[head_];
+    }
+
+    T&
+    back()
+    {
+        STEP_ASSERT(size_ > 0, "back() on empty ring");
+        return buf_[(head_ + size_ - 1) & mask_];
+    }
+
+    const T&
+    back() const
+    {
+        STEP_ASSERT(size_ > 0, "back() on empty ring");
+        return buf_[(head_ + size_ - 1) & mask_];
+    }
+
+    /** i-th element from the front (0 = front). */
+    const T&
+    at(size_t i) const
+    {
+        STEP_ASSERT(i < size_, "ring index " << i << " out of " << size_);
+        return buf_[(head_ + i) & mask_];
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == cap_)
+            grow(cap_ ? cap_ * 2 : 8);
+        buf_[(head_ + size_) & mask_] = std::move(v);
+        ++size_;
+    }
+
+    /**
+     * Append a (recycled) default-or-stale slot and return it for the
+     * caller to fill in place — one move fewer than push_back on the
+     * channel hot path.
+     */
+    T&
+    push_slot()
+    {
+        if (size_ == cap_)
+            grow(cap_ ? cap_ * 2 : 8);
+        return buf_[(head_ + size_++) & mask_];
+    }
+
+    void
+    pop_front()
+    {
+        STEP_ASSERT(size_ > 0, "pop_front() on empty ring");
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+
+    /** Drop all elements; keeps the storage. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** Ensure capacity for at least @p n elements without reallocation. */
+    void
+    reserve(size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+  private:
+    void
+    grow(size_t min_cap)
+    {
+        size_t cap = cap_ ? cap_ : 8;
+        while (cap < min_cap)
+            cap *= 2;
+        auto next = std::make_unique<T[]>(cap);
+        for (size_t i = 0; i < size_; ++i)
+            next[i] = std::move(buf_[(head_ + i) & mask_]);
+        buf_ = std::move(next);
+        cap_ = cap;
+        mask_ = cap - 1;
+        head_ = 0;
+    }
+
+    std::unique_ptr<T[]> buf_;
+    size_t cap_ = 0;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace step

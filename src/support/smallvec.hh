@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Small-buffer vector for build-path metadata (stream shapes, dim
+ * lists). Graph construction copies StreamPorts — and with them their
+ * shapes — hundreds of times per serving iteration; keeping up to N
+ * elements inline removes the per-copy heap allocation that a
+ * std::vector would pay. Inline storage is uninitialized: only live
+ * elements are ever constructed, so an empty or short SmallVec of
+ * heavyweight elements costs nothing.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace step {
+
+template <typename T, size_t N>
+class SmallVec
+{
+  public:
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> xs)
+    {
+        for (const T& x : xs)
+            push_back(x);
+    }
+
+    template <typename It>
+    SmallVec(It first, It last)
+    {
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+    SmallVec(const SmallVec& o)
+    {
+        for (const T& x : o)
+            push_back(x);
+    }
+
+    SmallVec(SmallVec&& o) noexcept
+    {
+        adoptFrom(std::move(o));
+    }
+
+    SmallVec&
+    operator=(const SmallVec& o)
+    {
+        if (this != &o) {
+            clear();
+            for (const T& x : o)
+                push_back(x);
+        }
+        return *this;
+    }
+
+    SmallVec&
+    operator=(SmallVec&& o) noexcept
+    {
+        if (this != &o) {
+            clear();
+            adoptFrom(std::move(o));
+        }
+        return *this;
+    }
+
+    ~SmallVec() { clear(); }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const T* begin() const { return data(); }
+    const T* end() const { return data() + size_; }
+    T* begin() { return data(); }
+    T* end() { return data() + size_; }
+
+    const T&
+    operator[](size_t i) const
+    {
+        STEP_ASSERT(i < size_, "SmallVec index " << i << " out of "
+                    << size_);
+        return data()[i];
+    }
+    T&
+    operator[](size_t i)
+    {
+        STEP_ASSERT(i < size_, "SmallVec index " << i << " out of "
+                    << size_);
+        return data()[i];
+    }
+
+    const T& front() const { return (*this)[0]; }
+    const T& back() const { return (*this)[size_ - 1]; }
+    T& front() { return (*this)[0]; }
+    T& back() { return (*this)[size_ - 1]; }
+
+    void
+    push_back(T v)
+    {
+        if (size_ < N) {
+            new (inlineSlot(size_)) T(std::move(v));
+            ++size_;
+            return;
+        }
+        if (size_ == N) {
+            // Spill: move the inline elements out, then destroy them.
+            spill_.reserve(2 * N);
+            for (size_t i = 0; i < N; ++i) {
+                spill_.push_back(std::move(*inlineSlot(i)));
+                inlineSlot(i)->~T();
+            }
+        }
+        spill_.push_back(std::move(v));
+        ++size_;
+    }
+
+    /** Append a [first, last) range. */
+    template <typename It>
+    void
+    append(It first, It last)
+    {
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+    /** Insert @p v before position @p pos (0 <= pos <= size). */
+    void
+    insert(size_t pos, T v)
+    {
+        STEP_ASSERT(pos <= size_, "SmallVec insert at " << pos
+                    << " out of " << size_);
+        push_back(std::move(v));
+        T* d = data();
+        for (size_t i = size_ - 1; i > pos; --i)
+            std::swap(d[i], d[i - 1]);
+    }
+
+    void
+    clear()
+    {
+        if (size_ <= N) {
+            for (size_t i = 0; i < size_; ++i)
+                inlineSlot(i)->~T();
+        } else {
+            spill_.clear();
+        }
+        size_ = 0;
+    }
+
+    bool
+    operator==(const SmallVec& o) const
+    {
+        if (size_ != o.size_)
+            return false;
+        const T* a = data();
+        const T* b = o.data();
+        for (size_t i = 0; i < size_; ++i)
+            if (!(a[i] == b[i]))
+                return false;
+        return true;
+    }
+
+  private:
+    void
+    adoptFrom(SmallVec&& o) noexcept
+    {
+        size_ = o.size_;
+        if (size_ <= N) {
+            for (size_t i = 0; i < size_; ++i) {
+                new (inlineSlot(i)) T(std::move(*o.inlineSlot(i)));
+                o.inlineSlot(i)->~T();
+            }
+        } else {
+            spill_ = std::move(o.spill_);
+        }
+        o.size_ = 0;
+    }
+
+    T*
+    inlineSlot(size_t i)
+    {
+        return std::launder(reinterpret_cast<T*>(storage_) + i);
+    }
+    const T*
+    inlineSlot(size_t i) const
+    {
+        return std::launder(reinterpret_cast<const T*>(storage_) + i);
+    }
+
+    const T*
+    data() const
+    {
+        return size_ <= N ? inlineSlot(0) : spill_.data();
+    }
+    T* data() { return size_ <= N ? inlineSlot(0) : spill_.data(); }
+
+    alignas(T) std::byte storage_[N * sizeof(T)];
+    size_t size_ = 0;
+    std::vector<T> spill_;
+};
+
+} // namespace step

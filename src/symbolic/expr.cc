@@ -36,6 +36,21 @@ namespace {
 Expr
 constant(int64_t c)
 {
+    // Interned small constants: stream shapes and metric expressions
+    // are rebuilt for every operator of every per-iteration serving
+    // graph, and their dims/coefficients are overwhelmingly small
+    // non-negative integers. Nodes are immutable, so sharing is safe.
+    static constexpr int64_t kMaxInterned = 256;
+    if (c >= 0 && c <= kMaxInterned) {
+        static const std::vector<Expr> cache = [] {
+            std::vector<Expr> v;
+            v.reserve(kMaxInterned + 1);
+            for (int64_t i = 0; i <= kMaxInterned; ++i)
+                v.push_back(ExprNode::make(Kind::Const, i, {}, {}));
+            return v;
+        }();
+        return cache[static_cast<size_t>(c)];
+    }
     return ExprNode::make(Kind::Const, c, {}, {});
 }
 

@@ -196,18 +196,16 @@ buildAttentionLayer(Graph& g, const AttnParams& p,
         auto& bc = g.add<BroadcastOp>(nm(name, "bc"), flat.out(), 2);
 
         // meta -> KV tile address stream.
-        FlatMapFn addr_fn = [](const Value& v,
-                               int64_t&) -> std::vector<Token> {
+        FlatMapFn addr_fn = [](const Value& v, std::vector<Token>& out,
+                               int64_t&) {
             const auto& tup = v.tupleElems();
             const Tile& meta = tup[1].tile();
             auto n = static_cast<int64_t>(meta.at(0, 0));
             auto base = static_cast<int64_t>(meta.at(0, 1));
-            std::vector<Token> out;
             for (int64_t i = 0; i < n; ++i) {
                 out.push_back(Token::data(Tile::withData(
                     1, 1, {static_cast<float>(base + i)}, 1)));
             }
-            return out;
         };
         auto& addrs = g.add<FlatMapOp>(nm(name, "addr"), bc.out(0),
                                        addr_fn,

@@ -151,12 +151,19 @@ buildDecoderLayer(Graph& g, const DecoderParams& p,
 
 SimResult
 runDecoderIteration(const DecoderParams& p, const IterationSpec& spec,
-                    dam::Scheduler* sched)
+                    dam::Scheduler* sched, Graph* reuse)
 {
     const auto B = static_cast<int64_t>(spec.kvLens.size());
     STEP_ASSERT(B > 0, "decoder iteration over an empty batch");
     SimConfig sc;
     sc.channelCapacity = static_cast<size_t>(B) + 32;
+    if (reuse) {
+        reuse->recycle(sc);
+        buildDecoderLayer(*reuse, p, spec.trace, spec.kvLens);
+        if (sched)
+            return reuse->run(*sched);
+        return reuse->run();
+    }
     Graph g(sc);
     buildDecoderLayer(g, p, spec.trace, spec.kvLens);
     if (sched)

@@ -84,11 +84,17 @@ struct IterationSpec
 /**
  * Build and simulate one decoder-layer iteration. When @p sched is
  * non-null the externally owned scheduler is reused (reset + run), so a
- * long-lived engine pays no scheduler setup per iteration.
+ * long-lived engine pays no scheduler setup per iteration. When
+ * @p reuse is non-null it must be an arena-backed Graph owned by the
+ * caller: the previous build is recycled in place and the new iteration
+ * graph reuses its operator storage, pooled channels, and interned
+ * names (see Graph::recycle) — the zero-rebuild path the serving engine
+ * runs on.
  */
 SimResult runDecoderIteration(const DecoderParams& p,
                               const IterationSpec& spec,
-                              dam::Scheduler* sched = nullptr);
+                              dam::Scheduler* sched = nullptr,
+                              Graph* reuse = nullptr);
 
 /** Run @p layers decoder layers (fresh graph each) and aggregate. */
 EndToEndResult runEndToEnd(const DecoderParams& p, int64_t layers,

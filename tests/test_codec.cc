@@ -97,7 +97,7 @@ TEST(Codec, CoalescerUpgradesNestedEnds)
 {
     StopCoalescer c;
     std::vector<Token> out;
-    auto push = [&](std::vector<Token> ts) {
+    auto push = [&](auto&& ts) {
         for (auto& t : ts)
             out.push_back(std::move(t));
     };
@@ -112,7 +112,7 @@ TEST(Codec, CoalescerKeepsEmptyGroups)
 {
     StopCoalescer c;
     std::vector<Token> out;
-    auto push = [&](std::vector<Token> ts) {
+    auto push = [&](auto&& ts) {
         for (auto& t : ts)
             out.push_back(std::move(t));
     };

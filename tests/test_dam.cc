@@ -188,7 +188,9 @@ class SelectConsumer : public Context
                 if (!db)
                     chans.push_back(&b_);
                 // Named awaiter (GCC 12 temporary-awaiter workaround).
-                WaitAny any_waiter{std::move(chans), *this};
+                // chans stays alive in the coroutine frame across the
+                // suspension, as WaitAny's span view requires.
+                WaitAny any_waiter{chans, *this};
                 co_await any_waiter;
                 continue;
             }
@@ -249,6 +251,225 @@ TEST(Dam, ElapsedIsMaxClock)
     s.add(&c);
     s.run();
     EXPECT_EQ(s.elapsed(), std::max(p.now(), c.now()));
+}
+
+// ---- scheduler edge cases ---------------------------------------------
+
+/**
+ * Both producers become visible before the selector runs again: the
+ * first push wakes the select-blocked consumer (Blocked -> Ready), the
+ * second push must treat the already-Ready consumer's still-registered
+ * waitingReader as a no-op — a single resume, no duplicate heap entry.
+ */
+TEST(Dam, DoubleWakeFromSelectIsSingleResume)
+{
+    Channel ca("a", 8, 1);
+    Channel cb("b", 8, 1);
+    // Producers at the same cadence: both push while the consumer is
+    // select-blocked (consumer's clock joins ahead after each pop).
+    Producer pa(ca, 4, 2);
+    Producer pb(cb, 4, 2);
+    SelectConsumer sc(ca, cb);
+    Scheduler s;
+    s.add(&pa);
+    s.add(&pb);
+    s.add(&sc);
+    s.run();
+    EXPECT_EQ(sc.order.size(), 8u);
+    EXPECT_EQ(s.elapsed(), std::max({pa.now(), pb.now(), sc.now()}));
+}
+
+/**
+ * WaitAny wake ordering with multiple simultaneously-ready channels:
+ * after the selector resumes, it must consume in front-time order, so
+ * the fast producer's tokens all drain before the slow one's last.
+ */
+TEST(Dam, WaitAnyWakeHonorsAvailabilityOrder)
+{
+    Channel ca("a", 8, 1);
+    Channel cb("b", 8, 1);
+    Producer pa(ca, 2, 9);  // tokens visible at t=10, 19
+    Producer pb(cb, 2, 2);  // tokens visible at t=3, 5
+    SelectConsumer sc(ca, cb);
+    Scheduler s;
+    s.add(&pa);
+    s.add(&pb);
+    s.add(&sc);
+    s.run();
+    ASSERT_EQ(sc.order, "bbaa");
+}
+
+/** Yielding context that is sole-ready resumes and terminates. */
+class Yielder : public Context
+{
+  public:
+    explicit Yielder(int n) : Context("yielder"), n_(n) {}
+
+    SimTask
+    run() override
+    {
+        for (int i = 0; i < n_; ++i) {
+            advance(1);
+            co_await Yield{*this};
+        }
+        co_return;
+    }
+
+    int resumed = 0;
+
+  private:
+    int n_;
+};
+
+TEST(Dam, YieldRequeuesWithoutStaleEntries)
+{
+    // Two yielding contexts interleave by clock; the index-tracked heap
+    // must requeue each yield without duplicating entries.
+    Yielder a(50);
+    Yielder b(50);
+    Scheduler s;
+    s.add(&a);
+    s.add(&b);
+    s.run();
+    EXPECT_EQ(a.now(), 50u);
+    EXPECT_EQ(b.now(), 50u);
+}
+
+/** Reads forever from a channel nobody writes: read-blocked deadlock. */
+class StuckReader : public Context
+{
+  public:
+    explicit StuckReader(Channel& ch) : Context("reader"), ch_(ch) {}
+
+    SimTask
+    run() override
+    {
+        co_await ch_.read(*this);
+        co_return;
+    }
+
+  private:
+    Channel& ch_;
+};
+
+TEST(Dam, DeadlockReportNamesReadBlockedChannel)
+{
+    Channel ch("starved", 4, 1);
+    StuckReader r(ch);
+    Scheduler s;
+    s.add(&r);
+    try {
+        s.run();
+        FAIL() << "expected deadlock";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("read starved"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+/** Writes past capacity with no consumer: write-blocked deadlock. */
+class StuckWriter : public Context
+{
+  public:
+    explicit StuckWriter(Channel& ch) : Context("writer"), ch_(ch) {}
+
+    SimTask
+    run() override
+    {
+        co_await ch_.write(*this, Token::data(test::val(1)));
+        co_await ch_.write(*this, Token::data(test::val(2)));
+        co_return;
+    }
+
+  private:
+    Channel& ch_;
+};
+
+TEST(Dam, DeadlockReportNamesWriteBlockedChannel)
+{
+    Channel ch("clogged", 1, 1);
+    StuckWriter w(ch);
+    Scheduler s;
+    s.add(&w);
+    try {
+        s.run();
+        FAIL() << "expected deadlock";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("write clogged (full)"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+/** Selects over channels nobody writes: select-blocked deadlock. */
+class StuckSelector : public Context
+{
+  public:
+    StuckSelector(Channel& a, Channel& b)
+        : Context("selector"), a_(a), b_(b)
+    {}
+
+    SimTask
+    run() override
+    {
+        std::vector<Channel*> chans{&a_, &b_};
+        WaitAny any_waiter{chans, *this};
+        co_await any_waiter;
+        co_return;
+    }
+
+  private:
+    Channel& a_;
+    Channel& b_;
+};
+
+TEST(Dam, DeadlockReportNamesSelectBlockedCount)
+{
+    Channel ca("sa", 4, 1);
+    Channel cb("sb", 4, 1);
+    StuckSelector sel(ca, cb);
+    Scheduler s;
+    s.add(&sel);
+    try {
+        s.run();
+        FAIL() << "expected deadlock";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("select over 2 channels"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Dam, ChannelReinitRestoresFreshSemantics)
+{
+    Channel ch("r", 4, 1);
+    {
+        Producer p(ch, 6, 2);
+        Consumer c(ch, 1);
+        Scheduler s;
+        s.add(&p);
+        s.add(&c);
+        s.run();
+        EXPECT_EQ(c.got.size(), 6u);
+        EXPECT_EQ(ch.totalPushed(), 7u);
+    }
+    ch.reinit("r2", 4, 1);
+    EXPECT_EQ(ch.name(), "r2");
+    EXPECT_EQ(ch.totalPushed(), 0u);
+    EXPECT_TRUE(ch.empty());
+    EXPECT_TRUE(ch.hasCredit());
+    {
+        Producer p(ch, 6, 2);
+        Consumer c(ch, 1);
+        Scheduler s;
+        s.add(&p);
+        s.add(&c);
+        s.run();
+        // Identical pipeline on the recycled channel: identical timing.
+        EXPECT_EQ(c.got.size(), 6u);
+        EXPECT_EQ(c.now(), 14u); // last sent t=12, +1 latency, +1 consume
+    }
 }
 
 } // namespace

@@ -247,6 +247,40 @@ TEST(Runtime, SchedulerReuseMatchesFreshScheduler)
     EXPECT_EQ(fresh1.offChipBytes, reused2.offChipBytes);
 }
 
+TEST(Runtime, RecycledGraphMatchesFreshGraphAcrossBatchChanges)
+{
+    DecoderParams p;
+    p.cfg = servingSimConfig();
+    p.moeRegions = 4;
+    p.moeTile = 16;
+    p.denseTile = 16;
+    dam::Scheduler sched;
+    GraphArena arena;
+    Graph reuse(SimConfig{}, &arena);
+
+    // Vary the batch composition across recycles, as the engine does.
+    std::vector<std::vector<int64_t>> batches = {
+        {32, 64, 96, 160}, {48, 80}, {32, 64, 96, 160}, {200},
+        {16, 16, 16, 16, 16, 16},
+    };
+    for (size_t i = 0; i < batches.size(); ++i) {
+        IterationSpec spec;
+        spec.kvLens = batches[i];
+        Rng rng(100 + i);
+        spec.trace = generateExpertTrace(
+            rng, static_cast<int64_t>(spec.kvLens.size()),
+            p.cfg.numExperts, p.cfg.topK);
+        SimResult fresh = runDecoderIteration(p, spec, &sched);
+        SimResult recycled = runDecoderIteration(p, spec, &sched, &reuse);
+        EXPECT_EQ(fresh.cycles, recycled.cycles) << "batch " << i;
+        EXPECT_EQ(fresh.totalFlops, recycled.totalFlops) << "batch " << i;
+        EXPECT_EQ(fresh.offChipBytes, recycled.offChipBytes)
+            << "batch " << i;
+        EXPECT_EQ(fresh.onChipPeakBytes, recycled.onChipPeakBytes)
+            << "batch " << i;
+    }
+}
+
 // ---- engine -----------------------------------------------------------
 
 TEST(Engine, DeterministicReplayUnderFixedSeed)
@@ -294,6 +328,69 @@ TEST(Engine, CompletesAllRequestsAndStampsLatencies)
     EXPECT_EQ(r.timeline.span(), r.summary.makespan);
     EXPECT_EQ(static_cast<int64_t>(r.timeline.iterations()),
               r.iterations);
+}
+
+TEST(Engine, RecycledGraphsMatchRebuildPathOver100Iterations)
+{
+    // Acceptance gate for graph recycling: >= 100 batching iterations on
+    // one engine instance, with metrics identical to rebuilding the
+    // iteration graph from scratch every time.
+    TraceConfig tc = burstyTrace(60);
+    QueueDepthPolicy policy;
+
+    auto run_once = [&](bool recycle) {
+        auto reqs = generateTrace(tc, 5);
+        EngineConfig ec;
+        ec.recycleGraphs = recycle;
+        ServingEngine engine(ec, policy);
+        return engine.run(reqs);
+    };
+    EngineResult rebuild = run_once(false);
+    EngineResult recycled = run_once(true);
+
+    EXPECT_GE(recycled.iterations, 100);
+    EXPECT_EQ(recycled.iterations, rebuild.iterations);
+    EXPECT_EQ(recycled.summary.makespan, rebuild.summary.makespan);
+    EXPECT_EQ(recycled.summary.completed, rebuild.summary.completed);
+    EXPECT_EQ(recycled.summary.generatedTokens,
+              rebuild.summary.generatedTokens);
+    EXPECT_DOUBLE_EQ(recycled.summary.ttftP50, rebuild.summary.ttftP50);
+    EXPECT_DOUBLE_EQ(recycled.summary.ttftP99, rebuild.summary.ttftP99);
+    EXPECT_DOUBLE_EQ(recycled.summary.tpotP99, rebuild.summary.tpotP99);
+    EXPECT_DOUBLE_EQ(recycled.summary.goodputTokensPerKcycle,
+                     rebuild.summary.goodputTokensPerKcycle);
+    EXPECT_DOUBLE_EQ(recycled.summary.computeUtilization,
+                     rebuild.summary.computeUtilization);
+}
+
+TEST(Engine, DeterministicReplayWithRecycledGraphs)
+{
+    // Two seeded runs through the recycled-graph engine must produce
+    // byte-identical metrics (guards the arena/recycling refactor
+    // against nondeterminism, e.g. reused state leaking across
+    // iterations).
+    TraceConfig tc = burstyTrace(40);
+    QueueDepthPolicy policy;
+    auto run_once = [&] {
+        auto reqs = generateTrace(tc, 9);
+        EngineConfig ec;
+        ec.seed = 17;
+        ec.recycleGraphs = true;
+        ServingEngine engine(ec, policy);
+        return engine.run(reqs);
+    };
+    EngineResult a = run_once();
+    EngineResult b = run_once();
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.summary.makespan, b.summary.makespan);
+    EXPECT_EQ(a.summary.generatedTokens, b.summary.generatedTokens);
+    EXPECT_DOUBLE_EQ(a.summary.ttftP50, b.summary.ttftP50);
+    EXPECT_DOUBLE_EQ(a.summary.ttftP99, b.summary.ttftP99);
+    EXPECT_DOUBLE_EQ(a.summary.tpotP99, b.summary.tpotP99);
+    EXPECT_DOUBLE_EQ(a.summary.goodputTokensPerKcycle,
+                     b.summary.goodputTokensPerKcycle);
+    EXPECT_DOUBLE_EQ(a.summary.computeUtilization,
+                     b.summary.computeUtilization);
 }
 
 TEST(Engine, QueueDepthPolicyBeatsStaticSplitOnBurstyTrace)

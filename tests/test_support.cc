@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the hot-path support containers introduced by the
+ * zero-allocation DAM work: the channel ring buffer, the small-buffer
+ * vector behind stream shapes, the selector index store, and the
+ * monotonic arena + name interner behind graph recycling.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/value.hh"
+#include "support/arena.hh"
+#include "support/error.hh"
+#include "support/ring.hh"
+#include "support/smallvec.hh"
+
+namespace step {
+namespace {
+
+// ---- Ring -------------------------------------------------------------
+
+TEST(Ring, FifoOrderAcrossWrap)
+{
+    Ring<int> r;
+    r.reserve(4);
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 3; ++i)
+            r.push_back(round * 10 + i);
+        for (int i = 0; i < 3; ++i) {
+            EXPECT_EQ(r.front(), round * 10 + i);
+            r.pop_front();
+        }
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, GrowsPreservingOrder)
+{
+    Ring<int> r; // no reserve: grows lazily
+    for (int i = 0; i < 100; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.size(), 100u);
+    EXPECT_EQ(r.back(), 99);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(r.front(), i);
+        r.pop_front();
+    }
+}
+
+TEST(Ring, GrowFromOffsetHead)
+{
+    Ring<int> r;
+    r.reserve(4);
+    // Shift head, then force growth mid-ring.
+    for (int i = 0; i < 3; ++i)
+        r.push_back(i);
+    r.pop_front();
+    r.pop_front();
+    for (int i = 3; i < 20; ++i)
+        r.push_back(i);
+    for (int i = 2; i < 20; ++i) {
+        EXPECT_EQ(r.front(), i);
+        r.pop_front();
+    }
+}
+
+TEST(Ring, PushSlotFillsInPlace)
+{
+    Ring<std::string> r;
+    r.reserve(2);
+    r.push_slot() = "a";
+    r.push_slot() = "b";
+    EXPECT_EQ(r.size(), 2u);
+    EXPECT_EQ(r.front(), "a");
+    EXPECT_EQ(r.back(), "b");
+}
+
+// ---- SmallVec ---------------------------------------------------------
+
+TEST(SmallVec, InlineThenSpill)
+{
+    SmallVec<std::string, 2> v;
+    v.push_back("a");
+    v.push_back("b");
+    EXPECT_EQ(v.size(), 2u);
+    v.push_back("c"); // crosses into spill storage
+    v.push_back("d");
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[3], "d");
+    EXPECT_EQ(v.front(), "a");
+    EXPECT_EQ(v.back(), "d");
+}
+
+TEST(SmallVec, CopyAndMoveBothRegimes)
+{
+    SmallVec<std::string, 2> small{"x", "y"};
+    SmallVec<std::string, 2> big{"1", "2", "3", "4"};
+
+    SmallVec<std::string, 2> sc = small;
+    SmallVec<std::string, 2> bc = big;
+    EXPECT_EQ(sc[1], "y");
+    EXPECT_EQ(bc[3], "4");
+
+    SmallVec<std::string, 2> sm = std::move(sc);
+    SmallVec<std::string, 2> bm = std::move(bc);
+    EXPECT_EQ(sm.size(), 2u);
+    EXPECT_EQ(bm.size(), 4u);
+    EXPECT_EQ(sm[0], "x");
+    EXPECT_EQ(bm[0], "1");
+
+    sm = big;
+    EXPECT_EQ(sm.size(), 4u);
+    bm = std::move(sm);
+    EXPECT_EQ(bm.size(), 4u);
+    EXPECT_EQ(bm[2], "3");
+}
+
+TEST(SmallVec, InsertShiftsTail)
+{
+    SmallVec<int, 4> v{1, 2, 4};
+    v.insert(2, 3);
+    ASSERT_EQ(v.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[static_cast<size_t>(i)], i + 1);
+    v.insert(0, 0);
+    EXPECT_EQ(v.size(), 5u); // spilled
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(v[4], 4);
+}
+
+TEST(SmallVec, RangeConstructAndIterate)
+{
+    std::vector<int> src{5, 6, 7, 8, 9};
+    SmallVec<int, 4> v(src.begin(), src.end());
+    int expect = 5;
+    for (int x : v)
+        EXPECT_EQ(x, expect++);
+    EXPECT_EQ(expect, 10);
+}
+
+// ---- IndexVec (Selector small-buffer store) ---------------------------
+
+TEST(IndexVec, InlineOneHotNoSpill)
+{
+    Selector s = Selector::oneHot(3);
+    ASSERT_EQ(s.indices.size(), 1u);
+    EXPECT_EQ(s.indices[0], 3u);
+    Selector t = s; // copy stays inline
+    EXPECT_TRUE(s == t);
+}
+
+TEST(IndexVec, SpillsBeyondTwoAndCompares)
+{
+    IndexVec v{1, 2, 3, 4};
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 1u);
+    EXPECT_EQ(v[3], 4u);
+    std::vector<uint32_t> src{1, 2, 3, 4};
+    IndexVec w(src.begin(), src.end());
+    EXPECT_TRUE(v == w);
+    w.push_back(5);
+    EXPECT_FALSE(v == w);
+    // Iteration covers inline + spilled storage uniformly.
+    uint32_t sum = 0;
+    for (uint32_t x : w)
+        sum += x;
+    EXPECT_EQ(sum, 15u);
+}
+
+// ---- MonotonicArena / NameInterner ------------------------------------
+
+TEST(Arena, BumpAllocatesAlignedAndReuses)
+{
+    MonotonicArena a(1024);
+    void* p1 = a.allocate(100, 8);
+    void* p2 = a.allocate(100, 64);
+    EXPECT_NE(p1, p2);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p2) % 64, 0u);
+    size_t before = a.retainedBytes();
+    a.reset();
+    // Same request sequence reuses the same block memory.
+    void* q1 = a.allocate(100, 8);
+    EXPECT_EQ(p1, q1);
+    EXPECT_EQ(a.retainedBytes(), before);
+}
+
+TEST(Arena, OversizedAllocationGetsOwnBlock)
+{
+    MonotonicArena a(256);
+    void* big = a.allocate(4096, 16);
+    EXPECT_NE(big, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(big) % 16, 0u);
+    EXPECT_GE(a.retainedBytes(), 4096u);
+}
+
+TEST(Interner, StableAcrossRepeats)
+{
+    NameInterner names;
+    std::string_view a = names.intern("qkv.mm.out");
+    std::string_view b = names.intern("qkv.mm.out");
+    EXPECT_EQ(a.data(), b.data()); // same pooled string
+    EXPECT_EQ(names.size(), 1u);
+    std::string_view c = names.intern("other");
+    EXPECT_NE(a.data(), c.data());
+    EXPECT_EQ(names.size(), 2u);
+}
+
+} // namespace
+} // namespace step
