@@ -25,17 +25,26 @@ namespace step::bench {
 
 /**
  * Minimal JSON artifact writer for bench outputs (BENCH_*.json). CI
- * uploads these so the performance trajectory accumulates run over run.
- * Keys are emitted in insertion order; values are numbers or strings.
+ * uploads these so the performance trajectory accumulates run over run,
+ * and the regression-threshold script (bench/check_bench_regression.py)
+ * compares them against bench/baseline.json.
+ *
+ * Schema v2: the artifact always carries a top-level "schema_version"
+ * integer, and every numeric metric is an object {"value": N, "unit":
+ * "..."} so consumers select metrics by key and unit instead of
+ * parsing by position. String entries stay plain strings.
  */
 class JsonReport
 {
   public:
+    static constexpr int kSchemaVersion = 2;
+
+    /** Numeric metric with an explicit unit (e.g. "events/sec"). */
     void
-    set(const std::string& key, double v)
+    set(const std::string& key, double v, const std::string& unit)
     {
         std::ostringstream os;
-        os << v;
+        os << "{\"value\": " << v << ", \"unit\": \"" << unit << "\"}";
         kv_.emplace_back(key, os.str());
     }
 
@@ -52,6 +61,8 @@ class JsonReport
         if (!out)
             return false;
         out << "{\n";
+        out << "  \"schema_version\": " << kSchemaVersion
+            << (kv_.empty() ? "" : ",") << "\n";
         for (size_t i = 0; i < kv_.size(); ++i) {
             out << "  \"" << kv_[i].first << "\": " << kv_[i].second
                 << (i + 1 < kv_.size() ? "," : "") << "\n";

@@ -87,6 +87,12 @@ operator new[](std::size_t n, const std::nothrow_t&) noexcept
     return std::malloc(n);
 }
 
+// GCC tracks the malloc attribute through the replaced operator new and
+// then flags the inlined free() in the replaced operator delete as a
+// mismatched pair (false positive: both are this TU's malloc/free
+// replacements, which do match).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
@@ -113,6 +119,7 @@ operator delete[](void* p, const std::nothrow_t&) noexcept
 {
     std::free(p);
 }
+#pragma GCC diagnostic pop
 
 namespace step {
 namespace {
@@ -255,10 +262,14 @@ runSubstrate(BuildFn build, int reps)
 
 struct ServingResult
 {
-    double recycledItersPerSec = 0;
-    double rebuildItersPerSec = 0;
-    double recycledEventsPerSec = 0;
+    double rearmItersPerSec = 0;    ///< rearm fast path (engine default)
+    double recycledItersPerSec = 0; ///< recycle + rebuild per iteration
+    double rebuildItersPerSec = 0;  ///< cold graph per iteration
+    double rearmEventsPerSec = 0;
+    double rearmBuildUs = 0; ///< graph rearm + patch cost, no run
     uint64_t eventsPerIter = 0;
+    uint64_t switchesPerIter = 0;       ///< timed-wait merge (default)
+    uint64_t switchesPerIterLegacy = 0; ///< patience-yield merge
 };
 
 ServingResult
@@ -279,17 +290,39 @@ runServing(int reps)
 
     ServingResult res;
     {
+        // Rearm fast path: the structural key never changes, so every
+        // iteration after the first patches the recycled graph in
+        // place.
         GraphArena arena;
         Graph g(SimConfig{}, &arena);
-        runDecoderIteration(p, spec, &sched, &g); // warmup
+        DecoderRearmHandles handles;
+        runDecoderIteration(p, spec, &sched, &g, &handles); // build
+        runDecoderIteration(p, spec, &sched, &g, &handles); // first rearm
         res.eventsPerIter = g.totalChannelTokens();
         auto t0 = Clk::now();
         for (int r = 0; r < reps; ++r)
-            runDecoderIteration(p, spec, &sched, &g);
+            runDecoderIteration(p, spec, &sched, &g, &handles);
         double s = seconds(t0, Clk::now());
-        res.recycledItersPerSec = reps / s;
-        res.recycledEventsPerSec =
+        res.rearmItersPerSec = reps / s;
+        res.rearmEventsPerSec =
             static_cast<double>(res.eventsPerIter) * reps / s;
+
+        // Rearm+patch cost alone (no simulation run in between; the
+        // repeated rearm is idempotent).
+        t0 = Clk::now();
+        for (int r = 0; r < reps; ++r)
+            rearmDecoderLayer(g, handles, p, spec);
+        res.rearmBuildUs = seconds(t0, Clk::now()) / reps * 1e6;
+    }
+    {
+        // Recycle + rebuild every iteration (the PR-2 path).
+        GraphArena arena;
+        Graph g(SimConfig{}, &arena);
+        runDecoderIteration(p, spec, &sched, &g); // warmup
+        auto t0 = Clk::now();
+        for (int r = 0; r < reps; ++r)
+            runDecoderIteration(p, spec, &sched, &g);
+        res.recycledItersPerSec = reps / seconds(t0, Clk::now());
     }
     {
         runDecoderIteration(p, spec, &sched); // warmup
@@ -297,6 +330,18 @@ runServing(int reps)
         for (int r = 0; r < reps; ++r)
             runDecoderIteration(p, spec, &sched);
         res.rebuildItersPerSec = reps / seconds(t0, Clk::now());
+    }
+    // Context switches per decoder iteration, with the WaitUntil merge
+    // (default) and the legacy patience-yield merge.
+    for (bool timed : {true, false}) {
+        SimConfig sc = iterationSimConfig(
+            static_cast<int64_t>(spec.kvLens.size()));
+        sc.mergeTimedWait = timed;
+        Graph g(sc);
+        buildDecoderLayer(g, p, spec.trace, spec.kvLens);
+        SimResult r = g.run();
+        (timed ? res.switchesPerIter : res.switchesPerIterLegacy) =
+            r.contextSwitches;
     }
     return res;
 }
@@ -331,12 +376,21 @@ main(int argc, char** argv)
                 rt.allocsPerEvent);
     std::printf("\nserving iteration (decoder layer, B=4, %llu events):\n",
                 static_cast<unsigned long long>(sv.eventsPerIter));
-    std::printf("  recycled graphs:  %9.1f iters/sec (%.0f events/sec)\n",
-                sv.recycledItersPerSec, sv.recycledEventsPerSec);
-    std::printf("  rebuild per iter: %9.1f iters/sec\n",
+    std::printf("  rearm (fast path):   %9.1f iters/sec (%.0f events/sec)\n",
+                sv.rearmItersPerSec, sv.rearmEventsPerSec);
+    std::printf("  recycle + rebuild:   %9.1f iters/sec\n",
+                sv.recycledItersPerSec);
+    std::printf("  cold rebuild:        %9.1f iters/sec\n",
                 sv.rebuildItersPerSec);
-    std::printf("  recycling speedup: %.2fx\n",
-                sv.recycledItersPerSec / sv.rebuildItersPerSec);
+    std::printf("  rearm build cost:    %9.1f us/iter\n", sv.rearmBuildUs);
+    std::printf("  rearm vs rebuild:    %9.2fx\n",
+                sv.rearmItersPerSec / sv.rebuildItersPerSec);
+    std::printf("  switches/iter:       %9llu (legacy merge: %llu, "
+                "%.2fx)\n",
+                static_cast<unsigned long long>(sv.switchesPerIter),
+                static_cast<unsigned long long>(sv.switchesPerIterLegacy),
+                static_cast<double>(sv.switchesPerIterLegacy) /
+                    static_cast<double>(sv.switchesPerIter));
 
     bool zero_alloc = pp.steadyAllocs == 0 && mp.steadyAllocs == 0 &&
                       rt.steadyAllocs == 0;
@@ -349,17 +403,32 @@ main(int argc, char** argv)
 
     if (!json_path.empty()) {
         bench::JsonReport j;
-        j.set("pingpong_events_per_sec", pp.eventsPerSec);
-        j.set("pingpong_allocs_per_event", pp.allocsPerEvent);
-        j.set("map_pipeline_events_per_sec", mp.eventsPerSec);
-        j.set("map_pipeline_allocs_per_event", mp.allocsPerEvent);
-        j.set("routing_events_per_sec", rt.eventsPerSec);
-        j.set("routing_allocs_per_event", rt.allocsPerEvent);
-        j.set("serving_recycled_iters_per_sec", sv.recycledItersPerSec);
-        j.set("serving_rebuild_iters_per_sec", sv.rebuildItersPerSec);
-        j.set("serving_recycled_events_per_sec", sv.recycledEventsPerSec);
+        j.set("bench", std::string("hotpath"));
+        j.set("pingpong_events_per_sec", pp.eventsPerSec, "events/sec");
+        j.set("pingpong_allocs_per_event", pp.allocsPerEvent,
+              "allocs/event");
+        j.set("map_pipeline_events_per_sec", mp.eventsPerSec,
+              "events/sec");
+        j.set("map_pipeline_allocs_per_event", mp.allocsPerEvent,
+              "allocs/event");
+        j.set("routing_events_per_sec", rt.eventsPerSec, "events/sec");
+        j.set("routing_allocs_per_event", rt.allocsPerEvent,
+              "allocs/event");
+        j.set("serving_rearm_iters_per_sec", sv.rearmItersPerSec,
+              "iters/sec");
+        j.set("serving_recycled_iters_per_sec", sv.recycledItersPerSec,
+              "iters/sec");
+        j.set("serving_rebuild_iters_per_sec", sv.rebuildItersPerSec,
+              "iters/sec");
+        j.set("serving_rearm_events_per_sec", sv.rearmEventsPerSec,
+              "events/sec");
+        j.set("serving_rearm_build_us", sv.rearmBuildUs, "us");
         j.set("serving_events_per_iter",
-              static_cast<double>(sv.eventsPerIter));
+              static_cast<double>(sv.eventsPerIter), "events");
+        j.set("serving_switches_per_iter",
+              static_cast<double>(sv.switchesPerIter), "switches");
+        j.set("serving_switches_per_iter_legacy_merge",
+              static_cast<double>(sv.switchesPerIterLegacy), "switches");
         j.set("zero_alloc_steady_state",
               std::string(zero_alloc ? "true" : "false"));
         if (!j.writeTo(json_path)) {

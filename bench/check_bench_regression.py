@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Enforce bench regression thresholds against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.8]
+
+Both files are schema-v2 bench artifacts (see bench_common.hh): numeric
+metrics are objects {"value": N, "unit": "..."}. Every *rate* metric in
+the baseline — any metric whose unit ends in "/sec" — must be present in
+the current artifact and reach at least `threshold` x the baseline
+value. Other metrics (counts, costs, strings) are reported but not
+enforced, so the script never parses by position and never misfires on
+cost metrics where smaller is better.
+
+The committed bench/baseline.json deliberately holds values well below
+a warm developer box (roughly 50-60% of locally measured numbers): CI
+runners are slower and noisy, and the point of the gate is to catch
+order-of-magnitude regressions (an accidental allocation or polling
+loop on the hot path), not 10% jitter. Update it by running
+`bench_hotpath --json` on the reference machine and scaling down, and
+note the change in the PR.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 2:
+        sys.exit(f"{path}: expected schema_version 2, "
+                 f"got {doc.get('schema_version')!r}")
+    return doc
+
+
+def rate_metrics(doc):
+    out = {}
+    for key, entry in doc.items():
+        if (isinstance(entry, dict) and "value" in entry
+                and str(entry.get("unit", "")).endswith("/sec")):
+            out[key] = (float(entry["value"]), entry["unit"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.8,
+                    help="minimum fraction of the baseline value "
+                         "(default 0.8)")
+    args = ap.parse_args()
+
+    baseline = rate_metrics(load(args.baseline))
+    current_doc = load(args.current)
+    current = rate_metrics(current_doc)
+    if not baseline:
+        sys.exit(f"{args.baseline}: no rate metrics (unit '*/sec') found")
+
+    failures = []
+    width = max(len(k) for k in baseline)
+    for key, (base_v, unit) in sorted(baseline.items()):
+        if key not in current:
+            failures.append(key)
+            print(f"FAIL {key:<{width}}  missing from current artifact")
+            continue
+        cur_v, _ = current[key]
+        floor = args.threshold * base_v
+        ok = cur_v >= floor
+        if not ok:
+            failures.append(key)
+        print(f"{'ok  ' if ok else 'FAIL'} {key:<{width}}  "
+              f"{cur_v:14.0f} vs floor {floor:14.0f} {unit} "
+              f"(baseline {base_v:.0f})")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) below "
+              f"{args.threshold:.0%} of baseline", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} rate metrics at or above "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,6 +129,9 @@ class StopCoalescer
         return out;
     }
 
+    /** Drop any buffered stop: back to the freshly-built state (rearm). */
+    void reset() { pending_.reset(); }
+
     /** Force out any buffered stop (used before Done or at barriers). */
     Emit
     flush()

@@ -54,9 +54,30 @@ WaitAny::await_suspend(std::coroutine_handle<>) const
 }
 
 void
+WaitUntil::await_suspend(std::coroutine_handle<>) const
+{
+    for (Channel* c : chans)
+        c->setWaitingReader(&self);
+    self.scheduler()->suspendUntil(&self, deadline);
+}
+
+void
 Yield::await_suspend(std::coroutine_handle<>) const
 {
     self.scheduler()->yieldRunning(&self);
+}
+
+/** Dynamics-only reset for the rearm path (see header). */
+void
+Channel::rearm()
+{
+    entries_.clear();
+    credits_.clear();
+    initCredits_ = capacity_;
+    lastReady_ = 0;
+    waitingReader_ = nullptr;
+    waitingWriter_ = nullptr;
+    totalPushed_ = 0;
 }
 
 std::string
@@ -69,6 +90,8 @@ BlockInfo::toString() const
         return "write " + ch->name() + " (full)";
     case Kind::Select:
         return "select over " + std::to_string(selectCount) + " channels";
+    case Kind::TimedWait:
+        return "timed wait";
     case Kind::None:
         break;
     }

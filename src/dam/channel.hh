@@ -53,6 +53,14 @@ class Channel
      */
     void reinit(std::string_view name, size_t capacity, Cycle latency);
 
+    /**
+     * Reset run-time dynamics only — FIFO contents, credits, waiter
+     * registrations, push count — while keeping the name, geometry, and
+     * producer/consumer bindings. Used by Graph::rearm() to re-run a
+     * structurally unchanged graph without rebuilding it.
+     */
+    void rearm();
+
     const std::string& name() const { return name_; }
     size_t capacity() const { return capacity_; }
     Cycle latency() const { return latency_; }
@@ -229,6 +237,47 @@ struct WaitAny
     }
 };
 
+/**
+ * Timed wait with channel wake: suspends until simulated time reaches
+ * @p deadline — the context parks in the scheduler's ready heap keyed at
+ * the deadline, so it resumes exactly when no other runnable context is
+ * earlier — or until any of the given channels receives a token,
+ * whichever the deterministic heap order reaches first. Replaces
+ * patience-yield polling in availability-ordered merges: one suspension
+ * instead of one context switch per polled producer step.
+ *
+ * Like WaitAny, the channel list is viewed, not copied, and must
+ * outlive the co_await (operator members and coroutine locals qualify).
+ * The list may be empty for a pure timer.
+ */
+struct WaitUntil
+{
+    std::span<Channel* const> chans;
+    Context& self;
+    Cycle deadline;
+
+    bool
+    await_ready() const
+    {
+        // A token already visible on a listed channel satisfies the
+        // wait immediately (mirrors WaitAny); an empty list is a pure
+        // timer.
+        for (const Channel* c : chans)
+            if (!c->empty())
+                return true;
+        return false;
+    }
+
+    void await_suspend(std::coroutine_handle<>) const;
+
+    void
+    await_resume() const
+    {
+        for (Channel* c : chans)
+            c->setWaitingReader(nullptr);
+    }
+};
+
 /** Reschedules the context, letting lower-clock contexts run first. */
 struct Yield
 {
@@ -277,7 +326,10 @@ Channel::push(Context& writer, Token&& t, Cycle min_ready)
     if (waitingReader_) {
         Context* r = waitingReader_;
         waitingReader_ = nullptr;
-        writer.scheduler()->makeReady(r);
+        // Wake at the token's ready time: the reader joins to it on
+        // pop anyway, and parking it lets this writer finish its burst
+        // so the reader drains it in one resume.
+        writer.scheduler()->makeReadyAt(r, ready);
     }
 }
 
@@ -295,7 +347,9 @@ Channel::pop(Context& reader)
     if (waitingWriter_) {
         Context* w = waitingWriter_;
         waitingWriter_ = nullptr;
-        reader.scheduler()->makeReady(w);
+        // Wake at the released credit's time (the writer's clock joins
+        // to it on push), mirroring the reader-side batching wake.
+        reader.scheduler()->makeReadyAt(w, reader.now());
     }
     return out;
 }

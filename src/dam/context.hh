@@ -31,7 +31,7 @@ enum class CtxState : uint8_t {
  */
 struct BlockInfo
 {
-    enum class Kind : uint8_t { None, Read, Write, Select };
+    enum class Kind : uint8_t { None, Read, Write, Select, TimedWait };
 
     Kind kind = Kind::None;
     const Channel* ch = nullptr; ///< channel involved (Read/Write)
@@ -70,10 +70,30 @@ class Context
 
     Scheduler* scheduler() const { return sched_; }
 
+  protected:
+    /**
+     * Return the context to its pre-registration state so it can be
+     * re-added to a scheduler and re-run: clock zeroed, coroutine frame
+     * destroyed (its block returns to the FramePool), block info
+     * cleared. The rearm path (OpBase::rearm) calls this so a recycled
+     * graph re-runs without reconstructing its operators.
+     */
+    void
+    resetRun()
+    {
+        now_ = 0;
+        state_ = CtxState::NotStarted;
+        block_ = BlockInfo{};
+        sched_ = nullptr;
+        task_ = SimTask{};
+        heapPos_ = kNotQueued;
+    }
+
   private:
     friend class Scheduler;
     friend class Channel;
     friend struct WaitAny;
+    friend struct WaitUntil;
     friend struct Yield;
 
     static constexpr size_t kNotQueued = ~size_t{0};

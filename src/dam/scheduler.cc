@@ -34,6 +34,16 @@ Scheduler::popMin()
 }
 
 void
+Scheduler::suspendUntil(Context* ctx, Cycle t)
+{
+    STEP_ASSERT(ctx->state_ == CtxState::Running,
+                "suspendUntil from non-running context");
+    ctx->state_ = CtxState::Blocked;
+    ctx->block_ = BlockInfo{BlockInfo::Kind::TimedWait, nullptr, 0};
+    enqueueAt(ctx, t);
+}
+
+void
 Scheduler::yieldRunning(Context* ctx)
 {
     STEP_ASSERT(ctx->state_ == CtxState::Running,
@@ -71,10 +81,25 @@ Scheduler::drain()
         if (heap_.empty())
             stepFatal("simulation deadlock:\n" << deadlockReport());
         Context* ctx = popMin();
+        if (ctx->state_ == CtxState::Blocked) {
+            // Timed-wait deadline reached: every other ready context's
+            // key is at or past it, so the waiter proceeds. The channel
+            // registrations are cleared by WaitUntil::await_resume.
+            STEP_ASSERT(ctx->block_.kind == BlockInfo::Kind::TimedWait,
+                        "blocked context " << ctx->name()
+                        << " in ready heap");
+            ctx->state_ = CtxState::Ready;
+            ctx->block_ = BlockInfo{};
+        }
         STEP_ASSERT(ctx->state_ == CtxState::Ready,
                     "non-ready context " << ctx->name()
                     << " in ready heap");
         ctx->state_ = CtxState::Running;
+        ++switches_;
+#ifdef STEP_SWITCH_TRACE
+        extern void stepSwitchTraceHook(const char*);
+        stepSwitchTraceHook(ctx->name().c_str());
+#endif
         ctx->task_.resume();
         if (ctx->task_.done()) {
             if (auto ex = ctx->task_.exception())
@@ -110,6 +135,7 @@ Scheduler::reset()
     heap_.clear();
     seq_ = 0;
     finished_ = 0;
+    switches_ = 0;
 }
 
 Cycle

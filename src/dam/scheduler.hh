@@ -61,14 +61,53 @@ class Scheduler
     /** Wake a blocked context (channel push/pop side effects). */
     void makeReady(Context* ctx);
 
+    /**
+     * Wake a blocked context but park it in the ready heap no earlier
+     * than cycle @p t (clamped up to the context's own clock). Channels
+     * use this to wake a reader at the pushed token's ready time and a
+     * writer at the released credit's time: the woken context cannot
+     * make progress before @p t anyway (its clock joins to it on
+     * pop/push), and keeping it parked lets the other endpoint keep
+     * running and batch up work, so the wake costs one resume per burst
+     * instead of one per token. Per-context virtual-time traces are
+     * unaffected — only the interleaving of resumes changes, and
+     * deterministically.
+     */
+    void makeReadyAt(Context* ctx, Cycle t);
+
     /** Requeue the currently running context (used by Yield). */
     void yieldRunning(Context* ctx);
 
     /**
-     * Smallest clock among ready contexts, or nullopt when none is
-     * ready. Meaningful from a running context (which is never in the
-     * ready heap), so @p self never shadows the result; the parameter is
-     * asserted against the root defensively.
+     * Time-indexed suspension: park the running context in the ready
+     * heap keyed at cycle @p t instead of its own clock. It is resumed
+     * exactly when no other ready context has an earlier key — i.e.
+     * once simulated time has caught up to @p t — or earlier, if a
+     * channel wake (makeReady) re-keys it to its own clock first. The
+     * context is marked Blocked with a TimedWait record so drain() can
+     * tell a timer expiry from a corrupted heap. This is the primitive
+     * behind WaitUntil, which replaces EagerMerge's patience-yield
+     * polling with a single suspension.
+     */
+    void suspendUntil(Context* ctx, Cycle t);
+
+    /**
+     * Coroutine resumes executed so far (one per context switch into an
+     * operator body). Cleared by reset(), so a Graph::run on a reused
+     * scheduler reads a per-run count.
+     */
+    uint64_t contextSwitches() const { return switches_; }
+
+    /**
+     * Earliest next-resume key in the ready heap, or nullopt when the
+     * heap is empty. This is NOT necessarily any context's clock: the
+     * heap also holds timed waiters keyed at their deadlines
+     * (suspendUntil) and contexts parked at the token-ready/credit
+     * time that woke them (makeReadyAt), so the value is "no runnable
+     * context can act before this cycle". Meaningful from a running
+     * context (which is never in the ready heap), so @p self never
+     * shadows the result; the parameter is asserted against the root
+     * defensively.
      */
     std::optional<Cycle> minReadyClock(const Context* self) const;
 
@@ -76,6 +115,7 @@ class Scheduler
 
   private:
     void enqueue(Context* ctx);
+    void enqueueAt(Context* ctx, Cycle t);
     Context* popMin();
     void siftUp(size_t i);
     void siftDown(size_t i);
@@ -97,6 +137,7 @@ class Scheduler
     std::vector<HeapEntry> heap_;
     uint64_t seq_ = 0;
     size_t finished_ = 0;
+    uint64_t switches_ = 0;
 };
 
 // ---- hot-path inline definitions --------------------------------------
@@ -141,29 +182,52 @@ Scheduler::siftDown(size_t i)
 }
 
 inline void
-Scheduler::enqueue(Context* ctx)
+Scheduler::enqueueAt(Context* ctx, Cycle t)
 {
     if (ctx->heapPos_ != Context::kNotQueued) {
-        // Re-key in place (defensive; state transitions make duplicate
-        // enqueues impossible in the current call graph).
+        // Re-key in place. Live path: a channel wake re-keys a timed
+        // waiter from its deadline down to its own clock.
         size_t i = ctx->heapPos_;
-        heap_[i].time = ctx->now();
+        heap_[i].time = t;
         heap_[i].seq = seq_++;
         siftUp(i);
         siftDown(ctx->heapPos_);
         return;
     }
-    heap_.push_back(HeapEntry{ctx->now(), seq_++, ctx});
+    heap_.push_back(HeapEntry{t, seq_++, ctx});
     siftUp(heap_.size() - 1);
+}
+
+inline void
+Scheduler::enqueue(Context* ctx)
+{
+    enqueueAt(ctx, ctx->now());
 }
 
 inline void
 Scheduler::makeReady(Context* ctx)
 {
+    makeReadyAt(ctx, ctx->now());
+}
+
+inline void
+Scheduler::makeReadyAt(Context* ctx, Cycle t)
+{
     if (ctx->state_ == CtxState::Blocked) {
         ctx->state_ = CtxState::Ready;
         ctx->block_ = BlockInfo{};
-        enqueue(ctx);
+        if (t < ctx->now())
+            t = ctx->now();
+        if (ctx->heapPos_ != Context::kNotQueued) {
+            // A timed waiter woken by channel activity: pull its heap
+            // key down when the wake time is earlier than the
+            // remaining deadline, so the new input is considered as
+            // soon as the waiter would naturally run.
+            if (t < heap_[ctx->heapPos_].time)
+                enqueueAt(ctx, t);
+            return;
+        }
+        enqueueAt(ctx, t);
     }
 }
 

@@ -36,6 +36,13 @@ struct SimConfig
     size_t channelCapacity = 8;
     /** FIFO forwarding latency. */
     dam::Cycle channelLatency = 1;
+    /**
+     * Availability-ordered merges wait out arrival races with one
+     * WaitUntil suspension instead of patience-yield polling (~3x fewer
+     * context switches per decoder iteration). The legacy yield loop is
+     * kept behind this flag for A/B verification in tests and benches.
+     */
+    bool mergeTimedWait = true;
 };
 
 /** One end of a stream: the channel plus its compile-time view. */
@@ -55,6 +62,27 @@ struct StreamPort
     }
 };
 
+struct OffChipTensor;
+
+/**
+ * Per-iteration payload handed to OpBase::rearm(). Only the fields an
+ * operator understands are consumed; everything else is ignored. The
+ * default-constructed spec means "reset run state only" and is what
+ * Graph::rearm() passes to every operator; workload-level rearm
+ * functions then re-invoke rearm on the operators that carry
+ * per-iteration data (source token streams, off-chip tensor metadata,
+ * policy-assigned compute bandwidths).
+ */
+struct RearmSpec
+{
+    /** New source token stream (consumed by move; SourceOp). */
+    std::vector<Token>* tokens = nullptr;
+    /** New off-chip tensor metadata (off-chip load operators). */
+    const OffChipTensor* tensor = nullptr;
+    /** New allocated compute bandwidth; < 0 keeps the current value. */
+    int64_t computeBw = -1;
+};
+
 /**
  * Base class for every STeP operator. An operator is a DAM context (its
  * run() coroutine implements the streaming semantics and the timing
@@ -64,6 +92,18 @@ class OpBase : public dam::Context
 {
   public:
     OpBase(Graph& g, std::string name);
+
+    /**
+     * Structure-preserving re-arm: reset all per-run state (local
+     * clock, coroutine frame, measured metrics, roofline memo) and
+     * apply the per-iteration payload in @p spec, so the operator can
+     * re-run inside a recycled graph without being reconstructed.
+     * Subclasses with run-state members (stop coalescers, exhaustion
+     * flags, cursors) or rearm-able parameters override this and call
+     * the base. Metrics after a rearmed run are bit-identical to a
+     * rebuilt graph's.
+     */
+    virtual void rearm(const RearmSpec& spec);
 
     /** Off-chip traffic in bytes (zero except off-chip operators). */
     virtual sym::Expr offChipTrafficExpr() const { return sym::Expr(0); }

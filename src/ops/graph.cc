@@ -8,6 +8,22 @@ OpBase::OpBase(Graph& g, std::string name)
     : dam::Context(std::move(name)), graph_(g)
 {}
 
+void
+OpBase::rearm(const RearmSpec&)
+{
+    flops_ = 0;
+    onChipPeak_ = 0;
+    elements_ = 0;
+    busy_ = 0;
+    // Invalidate the roofline memo: a rearm may change the operator's
+    // compute bandwidth, which the memo key deliberately omits.
+    memoIn_ = -1;
+    memoFlops_ = -1;
+    memoOut_ = -1;
+    memoDt_ = 0;
+    resetRun();
+}
+
 dam::Cycle
 OpBase::rooflineCycles(int64_t in_bytes, int64_t flops, int64_t out_bytes,
                        int64_t compute_bw, bool in_via_memory,
@@ -102,6 +118,29 @@ Graph::recycle(const SimConfig& cfg)
     ran_ = false;
 }
 
+void
+Graph::rearm(const SimConfig& cfg)
+{
+    STEP_ASSERT(!ops_.empty(), "Graph::rearm on an empty graph");
+    STEP_ASSERT(cfg.channelCapacity == cfg_.channelCapacity &&
+                cfg.channelLatency == cfg_.channelLatency,
+                "channel geometry is structural: recycle and rebuild "
+                "instead of rearming");
+    cfg_ = cfg;
+    for (dam::Channel* ch : channels_)
+        ch->rearm();
+    if (customMem_) {
+        mem_->reset();
+    } else {
+        static_cast<SimpleBwModel*>(mem_.get())
+            ->reinit(cfg_.offChipBwBytesPerCycle, cfg_.offChipLatency);
+    }
+    spad_.reset();
+    ran_ = false;
+    for (OpBase* op : ops_)
+        op->rearm(RearmSpec{});
+}
+
 uint64_t
 Graph::totalChannelTokens() const
 {
@@ -149,6 +188,7 @@ Graph::run(dam::Scheduler& sched)
 
     SimResult res;
     res.cycles = sched.elapsed();
+    res.contextSwitches = sched.contextSwitches();
     // Drop the scheduler's context pointers now: they reference ops this
     // graph owns, and a long-lived external scheduler must not dangle
     // into them once the graph is destroyed.

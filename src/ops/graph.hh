@@ -31,6 +31,7 @@ struct SimResult
     int64_t onChipPeakBytes = 0;      ///< scratchpad + operator state peak
     int64_t totalFlops = 0;           ///< useful FLOPs executed
     int64_t allocatedComputeBw = 0;   ///< sum of per-op compute bandwidth
+    uint64_t contextSwitches = 0;     ///< coroutine resumes during the run
 
     /** Fraction of allocated compute doing useful work. */
     double
@@ -103,6 +104,19 @@ class Graph
      * per-node heap allocation.
      */
     void recycle(const SimConfig& cfg);
+
+    /**
+     * Structure-preserving re-arm: keep every operator and channel of
+     * the current build alive and reset only their run-time state
+     * (clocks, coroutine frames, FIFO contents, measured metrics,
+     * memory models), so the same graph can run again after its
+     * per-iteration parameters are patched through OpBase::rearm().
+     * This skips the ~190 operator constructors a recycle+rebuild pays
+     * and is valid only while the graph structure (operator set,
+     * channel geometry) is unchanged — callers key on a structural
+     * fingerprint and fall back to recycle() + rebuild on mismatch.
+     */
+    void rearm(const SimConfig& cfg);
 
     /** Off-chip memory model (default: SimpleBwModel per SimConfig). */
     MemModel& memModel() { return *mem_; }

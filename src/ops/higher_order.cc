@@ -112,6 +112,14 @@ MapOp::run()
     co_return;
 }
 
+void
+MapOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    if (spec.computeBw >= 0)
+        computeBw_ = spec.computeBw;
+}
+
 // ---------------------------------------------------------------------
 // AccumOp
 // ---------------------------------------------------------------------
@@ -173,6 +181,15 @@ AccumOp::run()
     co_return;
 }
 
+void
+AccumOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+    if (spec.computeBw >= 0)
+        computeBw_ = spec.computeBw;
+}
+
 // ---------------------------------------------------------------------
 // ScanOp
 // ---------------------------------------------------------------------
@@ -220,6 +237,14 @@ ScanOp::run()
         }
     }
     co_return;
+}
+
+void
+ScanOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    if (spec.computeBw >= 0)
+        computeBw_ = spec.computeBw;
 }
 
 // ---------------------------------------------------------------------
@@ -277,6 +302,15 @@ FlatMapOp::run()
         }
     }
     co_return;
+}
+
+void
+FlatMapOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+    if (spec.computeBw >= 0)
+        computeBw_ = spec.computeBw;
 }
 
 // ---------------------------------------------------------------------

@@ -57,6 +57,8 @@ class MapOp : public OpBase
      */
     void setMatmulMemSpec(size_t weight_input);
 
+    void rearm(const RearmSpec& spec) override;
+
   private:
     std::vector<StreamPort> ins_;
     MapFn fn_;
@@ -93,6 +95,8 @@ class AccumOp : public OpBase
         return out_.dtype.sizeBytes();
     }
 
+    void rearm(const RearmSpec& spec) override;
+
   private:
     StreamPort in_;
     size_t rank_;
@@ -121,6 +125,8 @@ class ScanOp : public OpBase
     {
         return out_.dtype.sizeBytes();
     }
+
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;
@@ -151,6 +157,8 @@ class FlatMapOp : public OpBase
     dam::SimTask run() override;
 
     int64_t allocatedComputeBw() const override { return computeBw_; }
+
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;

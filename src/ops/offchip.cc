@@ -341,4 +341,35 @@ RandomOffChipStoreOp::onChipMemExpr() const
     return wdata_.dtype.sizeBytes() * sym::Expr(2);
 }
 
+
+// ---------------------------------------------------------------------
+// rearm overrides
+// ---------------------------------------------------------------------
+
+void
+LinearOffChipLoadOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+    if (spec.tensor)
+        tensor_ = *spec.tensor;
+}
+
+void
+LinearOffChipStoreOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    cursor_ = 0;
+    lastWrite_ = 0;
+}
+
+void
+RandomOffChipLoadOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+    if (spec.tensor)
+        tensor_ = *spec.tensor;
+}
+
 } // namespace step

@@ -76,6 +76,9 @@ class LinearOffChipLoadOp : public OpBase
     sym::Expr offChipTrafficExpr() const override;
     sym::Expr onChipMemExpr() const override;
 
+    /** spec.tensor swaps in new tensor metadata (same tile geometry). */
+    void rearm(const RearmSpec& spec) override;
+
   private:
     StreamPort ref_;
     OffChipTensor tensor_;
@@ -100,6 +103,8 @@ class LinearOffChipStoreOp : public OpBase
     /** Completion time of the last store. */
     dam::Cycle lastWrite() const { return lastWrite_; }
     int64_t bytesStored() const { return cursor_; }
+
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;
@@ -133,6 +138,10 @@ class RandomOffChipLoadOp : public OpBase
 
     /** Interpret an address-stream element as a block index. */
     static int64_t addrIndexOf(const Value& v);
+
+    /** spec.tensor swaps in new tensor metadata (e.g. per-iteration KV
+     *  extents); the block stride and output grid stay as built. */
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort addr_;

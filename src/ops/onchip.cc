@@ -252,4 +252,19 @@ StreamifyOp::run()
     co_return;
 }
 
+
+void
+BufferizeOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+}
+
+void
+StreamifyOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+}
+
 } // namespace step

@@ -29,6 +29,8 @@ class BufferizeOp : public OpBase
     /** |in dtype| + ||buffer|| * |in dtype| * 2 (double buffering). */
     sym::Expr onChipMemExpr() const override;
 
+    void rearm(const RearmSpec& spec) override;
+
   private:
     StreamPort in_;
     size_t rank_;
@@ -61,6 +63,7 @@ class StreamifyOp : public OpBase
     StreamPort out() const { return out_; }
 
     dam::SimTask run() override;
+    void rearm(const RearmSpec& spec) override;
 
   private:
     size_t addedRank() const;

@@ -112,6 +112,14 @@ PartitionOp::run()
     co_return;
 }
 
+void
+PartitionOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    for (auto& c : coals_)
+        c.reset();
+}
+
 // ---------------------------------------------------------------------
 // Reassemble
 // ---------------------------------------------------------------------
@@ -202,6 +210,13 @@ ReassembleOp::run()
     co_return;
 }
 
+void
+ReassembleOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+}
+
 // ---------------------------------------------------------------------
 // EagerMerge
 // ---------------------------------------------------------------------
@@ -249,10 +264,19 @@ EagerMergeOp::pickAvailable(const std::vector<bool>& done) const
     return best;
 }
 
+void
+EagerMergeOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+    done_.assign(ins_.size(), false);
+}
+
 dam::SimTask
 EagerMergeOp::run()
 {
     const auto b = static_cast<uint32_t>(rank_);
+    const bool timed_wait = graph_.config().mergeTimedWait;
     std::vector<bool>& done = done_;
     size_t remaining = ins_.size();
     int patience = 0;
@@ -271,10 +295,24 @@ EagerMergeOp::run()
             continue;
         }
         // Let producers with earlier clocks act first so "arrival order"
-        // approximates hardware availability (bounded retries).
+        // approximates hardware availability.
+        dam::Cycle avail =
+            ins_[static_cast<size_t>(pick)].ch->frontTime();
         std::optional<dam::Cycle> other = scheduler()->minReadyClock(this);
-        if (patience < 64 && other &&
-            *other < ins_[static_cast<size_t>(pick)].ch->frontTime()) {
+        if (timed_wait) {
+            if (other && *other < avail) {
+                // One time-indexed suspension until simulated time
+                // catches up to the candidate's availability, instead
+                // of yield-polling once per earlier-clocked producer
+                // step. A pure timer: anything pushed in the meantime
+                // is visible at the re-pick after the deadline pop, so
+                // a channel wake would only add resumes.
+                dam::WaitUntil until_waiter{{}, *this, avail};
+                co_await until_waiter;
+                continue;
+            }
+        } else if (patience < 64 && other && *other < avail) {
+            // Legacy bounded-retry yield poll (A/B reference).
             ++patience;
             co_await dam::Yield{*this};
             continue;

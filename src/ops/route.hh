@@ -28,6 +28,7 @@ class PartitionOp : public OpBase
     size_t numOuts() const { return outs_.size(); }
 
     dam::SimTask run() override;
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;
@@ -53,6 +54,7 @@ class ReassembleOp : public OpBase
     StreamPort out() const { return out_; }
 
     dam::SimTask run() override;
+    void rearm(const RearmSpec& spec) override;
 
   private:
     std::vector<StreamPort> ins_;
@@ -79,6 +81,7 @@ class EagerMergeOp : public OpBase
     StreamPort selOut() const { return selOut_; }
 
     dam::SimTask run() override;
+    void rearm(const RearmSpec& spec) override;
 
   private:
     /** Pick the available input with the earliest head token. */

@@ -457,4 +457,38 @@ FilterOp::run()
     co_return;
 }
 
+
+// ---------------------------------------------------------------------
+// rearm overrides: reset the stop-coalescing state machines
+// ---------------------------------------------------------------------
+
+void
+FlattenOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+}
+
+void
+ReshapeOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+    padCoal_.reset();
+}
+
+void
+RepeatOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+}
+
+void
+FilterOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    coal_.reset();
+}
+
 } // namespace step

@@ -24,6 +24,7 @@ class FlattenOp : public OpBase
 
     StreamPort out() const { return out_; }
     dam::SimTask run() override;
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;
@@ -51,6 +52,7 @@ class ReshapeOp : public OpBase
     bool hasPadStream() const { return padOut_.ch != nullptr; }
 
     dam::SimTask run() override;
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;
@@ -123,6 +125,7 @@ class RepeatOp : public OpBase
 
     StreamPort out() const { return out_; }
     dam::SimTask run() override;
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;
@@ -158,6 +161,7 @@ class FilterOp : public OpBase
 
     StreamPort out() const { return out_; }
     dam::SimTask run() override;
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;

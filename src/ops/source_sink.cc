@@ -19,13 +19,28 @@ SourceOp::SourceOp(Graph& g, const std::string& name,
 dam::SimTask
 SourceOp::run()
 {
-    // A context body runs exactly once, so the pre-materialized tokens
-    // can be moved out instead of copied.
+    STEP_ASSERT(armed_, "source " << name() << " re-run without a "
+                "fresh token stream (rearm spec missing tokens)");
+    armed_ = false;
+    // A run consumes the pre-materialized tokens, so they can be moved
+    // out instead of copied; rearm() installs the next stream.
     for (auto& t : toks_) {
         busyAdvance(ii_);
         STEP_EMIT_RAW(out_.ch, std::move(t));
     }
     co_return;
+}
+
+void
+SourceOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    if (spec.tokens) {
+        STEP_ASSERT(!spec.tokens->empty() && spec.tokens->back().isDone(),
+                    "rearm stream must end in Done: " << name());
+        toks_ = std::move(*spec.tokens);
+        armed_ = true;
+    }
 }
 
 SinkOp::SinkOp(Graph& g, const std::string& name, StreamPort in,
@@ -52,6 +67,15 @@ SinkOp::run()
     }
     finish_ = now();
     co_return;
+}
+
+void
+SinkOp::rearm(const RearmSpec& spec)
+{
+    OpBase::rearm(spec);
+    captured_.clear();
+    dataCount_ = 0;
+    finish_ = 0;
 }
 
 RelayOp::RelayOp(Graph& g, const std::string& name, StreamPort in,

@@ -29,10 +29,19 @@ class SourceOp : public OpBase
 
     dam::SimTask run() override;
 
+    /**
+     * Requires spec.tokens when re-arming for a new run: the previous
+     * stream was moved out during emission. Graph::rearm's generic
+     * pass (null tokens) leaves the source disarmed; running a
+     * disarmed source asserts.
+     */
+    void rearm(const RearmSpec& spec) override;
+
   private:
     std::vector<Token> toks_;
     StreamPort out_;
     dam::Cycle ii_;
+    bool armed_ = true;
 };
 
 class SinkOp : public OpBase
@@ -48,6 +57,8 @@ class SinkOp : public OpBase
     uint64_t dataCount() const { return dataCount_; }
     /** Local clock when Done was received. */
     dam::Cycle finishTime() const { return finish_; }
+
+    void rearm(const RearmSpec& spec) override;
 
   private:
     StreamPort in_;

@@ -137,7 +137,8 @@ ServingEngine::run(std::vector<Request>& reqs)
                                                      &arena_);
             SimResult sim = runDecoderIteration(
                 dp, spec, &sched_,
-                cfg_.recycleGraphs ? iterGraph_.get() : nullptr);
+                cfg_.recycleGraphs ? iterGraph_.get() : nullptr,
+                cfg_.recycleGraphs ? &rearmHandles_ : nullptr);
             iter_cycles = sim.cycles * static_cast<dam::Cycle>(
                 cfg_.numLayers);
             decode_flops = sim.totalFlops * cfg_.numLayers;

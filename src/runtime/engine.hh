@@ -90,6 +90,10 @@ class ServingEngine
     dam::Scheduler sched_; ///< reused across per-iteration graphs
     GraphArena arena_;     ///< backs the recycled iteration graph
     std::unique_ptr<Graph> iterGraph_; ///< lazily created when recycling
+    /** Structure-preserving rearm handles for iterGraph_: while the
+     *  decode batch's structural key is stable, iterations patch the
+     *  recycled graph in place instead of rebuilding it. */
+    DecoderRearmHandles rearmHandles_;
 };
 
 } // namespace step::runtime

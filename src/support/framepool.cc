@@ -1,0 +1,127 @@
+#include "support/framepool.hh"
+
+#include <new>
+
+namespace step {
+
+namespace {
+
+/**
+ * Block layout: [16-byte header | payload]. The header keeps the bucket
+ * index (or the bypass marker) and doubles as the freelist link while
+ * the block is parked. 16 bytes preserves malloc-grade alignment for
+ * the payload.
+ */
+struct Header
+{
+    union {
+        uint64_t bucket;
+        Header* next;
+    };
+    uint64_t pad_; ///< payload stays 16-byte aligned
+};
+static_assert(sizeof(Header) == 16);
+static_assert(alignof(Header) <= 16);
+
+constexpr std::size_t kMinBlock = 64;
+constexpr uint64_t kBypass = ~uint64_t{0};
+
+// Bucket i holds blocks of kMinBlock << i total bytes (header included).
+constexpr int kBuckets = 11; // 64 B .. 64 KiB
+static_assert((kMinBlock << (kBuckets - 1)) == FramePool::kMaxPooledBytes);
+
+struct PoolState
+{
+    Header* freelist[kBuckets] = {};
+    uint64_t cached[kBuckets] = {};
+    FramePool::Stats stats;
+};
+
+PoolState&
+state()
+{
+    static PoolState s;
+    return s;
+}
+
+int
+bucketFor(std::size_t total)
+{
+    int b = 0;
+    std::size_t cap = kMinBlock;
+    while (cap < total) {
+        cap <<= 1;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+void*
+FramePool::allocate(std::size_t n)
+{
+    PoolState& s = state();
+    const std::size_t total = n + sizeof(Header);
+    if (total > kMaxPooledBytes) {
+        ++s.stats.bypasses;
+        auto* h = static_cast<Header*>(::operator new(total));
+        h->bucket = kBypass;
+        return h + 1;
+    }
+    const int b = bucketFor(total);
+    if (Header* h = s.freelist[b]) {
+        s.freelist[b] = h->next;
+        --s.cached[b];
+        ++s.stats.hits;
+        h->bucket = static_cast<uint64_t>(b);
+        return h + 1;
+    }
+    ++s.stats.misses;
+    auto* h = static_cast<Header*>(::operator new(kMinBlock << b));
+    h->bucket = static_cast<uint64_t>(b);
+    return h + 1;
+}
+
+void
+FramePool::deallocate(void* p) noexcept
+{
+    if (!p)
+        return;
+    PoolState& s = state();
+    Header* h = static_cast<Header*>(p) - 1;
+    if (h->bucket == kBypass) {
+        ::operator delete(h);
+        return;
+    }
+    const auto b = static_cast<int>(h->bucket);
+    h->next = s.freelist[b];
+    s.freelist[b] = h;
+    ++s.cached[b];
+}
+
+FramePool::Stats
+FramePool::stats()
+{
+    PoolState& s = state();
+    Stats out = s.stats;
+    out.cached = 0;
+    for (uint64_t c : s.cached)
+        out.cached += c;
+    return out;
+}
+
+void
+FramePool::trim()
+{
+    PoolState& s = state();
+    for (int b = 0; b < kBuckets; ++b) {
+        while (Header* h = s.freelist[b]) {
+            s.freelist[b] = h->next;
+            ::operator delete(h);
+        }
+        s.cached[b] = 0;
+    }
+}
+
+} // namespace step

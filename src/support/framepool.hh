@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Size-bucketed freelist for coroutine frames. Every operator body is a
+ * C++20 coroutine whose frame is heap-allocated by default; a serving
+ * iteration creates ~190 frames and destroys them at the next rearm or
+ * recycle, so frames of identical sizes churn through the allocator
+ * once per batching iteration. The pool intercepts the task promise's
+ * operator new/delete and recycles blocks through power-of-two buckets:
+ * the steady state never touches the heap and frames of the same
+ * operator land on the same warm block, improving locality.
+ *
+ * Single-threaded by design, like the simulator it serves. Freed blocks
+ * are cached until trim(); a 16-byte header records the owning bucket so
+ * deallocation does not depend on the (unsized) delete form the
+ * compiler picks for frame teardown.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace step {
+
+class FramePool
+{
+  public:
+    /** Blocks above this size bypass the pool entirely. */
+    static constexpr std::size_t kMaxPooledBytes = std::size_t{64} << 10;
+
+    static void* allocate(std::size_t n);
+    static void deallocate(void* p) noexcept;
+
+    struct Stats
+    {
+        uint64_t hits = 0;     ///< allocations served from a freelist
+        uint64_t misses = 0;   ///< allocations that touched the heap
+        uint64_t bypasses = 0; ///< oversized allocations (never pooled)
+        uint64_t cached = 0;   ///< blocks currently parked in freelists
+    };
+
+    static Stats stats();
+
+    /** Release every cached block back to the heap. */
+    static void trim();
+};
+
+} // namespace step

@@ -19,6 +19,95 @@ nm(const std::string& base, const std::string& suffix)
     return base + "." + suffix;
 }
 
+/** Per-request base tile offsets into the packed KV layout. */
+std::vector<int64_t>
+kvBaseTiles(const std::vector<int64_t>& kv_lens, int64_t Tk,
+            int64_t* tot_tiles)
+{
+    std::vector<int64_t> base_tile(kv_lens.size());
+    int64_t tot = 0;
+    for (size_t r = 0; r < kv_lens.size(); ++r) {
+        base_tile[r] = tot;
+        tot += (kv_lens[r] + Tk - 1) / Tk;
+    }
+    *tot_tiles = tot;
+    return base_tile;
+}
+
+Tile
+metaTile(const std::vector<int64_t>& kv_lens,
+         const std::vector<int64_t>& base_tile, int64_t Tk, int64_t r)
+{
+    int64_t n_tiles = (kv_lens[static_cast<size_t>(r)] + Tk - 1) / Tk;
+    return Tile::withData(
+        1, 2,
+        {static_cast<float>(n_tiles),
+         static_cast<float>(base_tile[static_cast<size_t>(r)])});
+}
+
+/** Meta stream tokens for the ext_q request path ([B] of [1,2]). */
+std::vector<Token>
+attnMetaTokens(const std::vector<int64_t>& kv_lens,
+               const std::vector<int64_t>& base_tile, int64_t Tk)
+{
+    std::vector<Token> toks;
+    StopCoalescer coal;
+    for (size_t r = 0; r < kv_lens.size(); ++r) {
+        for (auto& tk : coal.onData(Value(metaTile(
+                 kv_lens, base_tile, Tk, static_cast<int64_t>(r)))))
+            toks.push_back(tk);
+    }
+    for (auto& tk : coal.onDone())
+        toks.push_back(tk);
+    return toks;
+}
+
+/** Static-assignment selector tokens ([B] one-hot). */
+std::vector<Token>
+assignSelTokens(const std::vector<uint32_t>& assign)
+{
+    std::vector<Token> toks;
+    toks.reserve(assign.size() + 1);
+    for (uint32_t a : assign)
+        toks.push_back(Token::data(Selector::oneHot(a)));
+    toks.push_back(Token::done());
+    return toks;
+}
+
+/** Shape-only K/V tensor pair for the current KV layout. */
+void
+kvShapeTensors(int64_t tot_tiles, int64_t Tk, int64_t d, OffChipTensor* kt,
+               OffChipTensor* vt)
+{
+    *kt = OffChipTensor::shapeOnly(0, tot_tiles * Tk, d, Tk, d);
+    uint64_t kbytes = static_cast<uint64_t>(tot_tiles * Tk * d * 2);
+    *vt = OffChipTensor::shapeOnly((kbytes + 4095u) & ~uint64_t{4095},
+                                   tot_tiles * Tk, d, Tk, d);
+}
+
+/** Standalone (q, meta) request stream ([B,1] of tuples; q rows are
+ *  shape-only when @p qs is null). */
+std::vector<Token>
+attnReqTokens(const std::vector<int64_t>& kv_lens,
+              const std::vector<int64_t>& base_tile, int64_t Tk, int64_t d,
+              const std::vector<std::vector<float>>* qs)
+{
+    std::vector<Token> toks;
+    StopCoalescer coal;
+    for (size_t r = 0; r < kv_lens.size(); ++r) {
+        Tile q = qs ? Tile::withData(1, d, (*qs)[r]) : Tile(1, d);
+        for (auto& tk : coal.onData(Value::tuple(
+                 {std::move(q), metaTile(kv_lens, base_tile, Tk,
+                                         static_cast<int64_t>(r))})))
+            toks.push_back(tk);
+        for (auto& tk : coal.onStop(1))
+            toks.push_back(tk);
+    }
+    for (auto& tk : coal.onDone())
+        toks.push_back(tk);
+    return toks;
+}
+
 } // namespace
 
 std::vector<uint32_t>
@@ -44,7 +133,7 @@ buildAttentionLayer(Graph& g, const AttnParams& p,
                     const std::vector<std::vector<float>>* qs,
                     const std::vector<std::vector<float>>* ks,
                     const std::vector<std::vector<float>>* vs,
-                    const StreamPort* ext_q)
+                    const StreamPort* ext_q, AttnRearmHandles* rearm)
 {
     const auto B = static_cast<int64_t>(kv_lens.size());
     const int64_t d = p.cfg.numKvHeads * p.cfg.headDim;
@@ -54,65 +143,50 @@ buildAttentionLayer(Graph& g, const AttnParams& p,
                 "functional mode needs q/k/v payloads");
 
     // ---- KV tensors laid out per request ----------------------------
-    std::vector<int64_t> base_tile(static_cast<size_t>(B));
     int64_t tot_tiles = 0;
-    for (int64_t r = 0; r < B; ++r) {
-        base_tile[static_cast<size_t>(r)] = tot_tiles;
-        tot_tiles += (kv_lens[static_cast<size_t>(r)] + Tk - 1) / Tk;
-        if (p.functional) {
-            STEP_ASSERT(kv_lens[static_cast<size_t>(r)] % Tk == 0,
+    std::vector<int64_t> base_tile = kvBaseTiles(kv_lens, Tk, &tot_tiles);
+    if (p.functional) {
+        for (int64_t len : kv_lens) {
+            STEP_ASSERT(len % Tk == 0,
                         "functional mode needs KV lengths divisible by "
                         "the KV tile");
         }
     }
-    auto make_kv_tensor = [&](uint64_t base,
-                              const std::vector<std::vector<float>>* rows)
-        -> OffChipTensor {
-        if (!p.functional) {
-            return OffChipTensor::shapeOnly(base, tot_tiles * Tk, d, Tk,
-                                            d);
-        }
-        std::vector<float> payload(
-            static_cast<size_t>(tot_tiles * Tk * d), 0.0f);
-        for (int64_t r = 0; r < B; ++r) {
-            const auto& mat = (*rows)[static_cast<size_t>(r)];
-            int64_t off = base_tile[static_cast<size_t>(r)] * Tk * d;
-            std::copy(mat.begin(), mat.end(),
-                      payload.begin() + static_cast<long>(off));
-        }
-        return OffChipTensor::fromData(base, tot_tiles * Tk, d, Tk, d,
-                                       std::move(payload));
-    };
-    uint64_t kbytes = static_cast<uint64_t>(tot_tiles * Tk * d * 2);
-    OffChipTensor kt = make_kv_tensor(0, ks);
-    OffChipTensor vt = make_kv_tensor((kbytes + 4095u) & ~uint64_t{4095},
-                                      vs);
+    // Same layout on both paths: the rearm path re-derives these via
+    // the same helper, so build and rearm can never drift.
+    OffChipTensor kt;
+    OffChipTensor vt;
+    kvShapeTensors(tot_tiles, Tk, d, &kt, &vt);
+    if (p.functional) {
+        auto fill = [&](OffChipTensor& t,
+                        const std::vector<std::vector<float>>* rows) {
+            std::vector<float> payload(
+                static_cast<size_t>(tot_tiles * Tk * d), 0.0f);
+            for (int64_t r = 0; r < B; ++r) {
+                const auto& mat = (*rows)[static_cast<size_t>(r)];
+                int64_t off = base_tile[static_cast<size_t>(r)] * Tk * d;
+                std::copy(mat.begin(), mat.end(),
+                          payload.begin() + static_cast<long>(off));
+            }
+            t = OffChipTensor::fromData(t.baseAddr, tot_tiles * Tk, d, Tk,
+                                        d, std::move(payload));
+        };
+        fill(kt, ks);
+        fill(vt, vs);
+    }
 
     // ---- request stream [B,1] of (q, meta) tuples --------------------
     DataType req_dt = DataType::tuple(
         {DataType::tile(1, d), DataType::tile(1, 2)});
-    auto meta_tile = [&](int64_t r) {
-        int64_t n_tiles = (kv_lens[static_cast<size_t>(r)] + Tk - 1) / Tk;
-        return Tile::withData(
-            1, 2,
-            {static_cast<float>(n_tiles),
-             static_cast<float>(base_tile[static_cast<size_t>(r)])});
-    };
     StreamPort req_port;
     if (ext_q) {
         // q rows arrive from the previous block; zip with a meta stream
         // to form the (q, meta) request tuples.
-        std::vector<Token> meta_toks;
-        StopCoalescer mcoal;
-        for (int64_t r = 0; r < B; ++r) {
-            for (auto& tk : mcoal.onData(Value(meta_tile(r))))
-                meta_toks.push_back(tk);
-        }
-        for (auto& tk : mcoal.onDone())
-            meta_toks.push_back(tk);
         auto& meta_src = g.add<SourceOp>(
-            "attn.meta", std::move(meta_toks),
+            "attn.meta", attnMetaTokens(kv_lens, base_tile, Tk),
             StreamShape({Dim::fixed(B)}), DataType::tile(1, 2));
+        if (rearm)
+            rearm->meta = &meta_src;
         auto& qflat = g.add<FlattenOp>("attn.qflat", *ext_q, 0, 1);
         auto& z = g.add<ZipOp>(
             "attn.reqzip",
@@ -120,23 +194,14 @@ buildAttentionLayer(Graph& g, const AttnParams& p,
         auto& rp = g.add<RepeatOp>("attn.reqchunk", z.out(), 1);
         req_port = rp.out();
     } else {
-        std::vector<Token> req_toks;
-        StopCoalescer coal;
-        for (int64_t r = 0; r < B; ++r) {
-            Tile q = p.functional
-                ? Tile::withData(1, d, (*qs)[static_cast<size_t>(r)])
-                : Tile(1, d);
-            for (auto& tk : coal.onData(Value::tuple({std::move(q),
-                                                      meta_tile(r)})))
-                req_toks.push_back(tk);
-            for (auto& tk : coal.onStop(1))
-                req_toks.push_back(tk);
-        }
-        for (auto& tk : coal.onDone())
-            req_toks.push_back(tk);
-        req_port = g.add<SourceOp>(
-            "attn.req", std::move(req_toks),
-            StreamShape({Dim::fixed(B), Dim::fixed(1)}), req_dt).out();
+        auto& req_src = g.add<SourceOp>(
+            "attn.req",
+            attnReqTokens(kv_lens, base_tile, Tk, d,
+                          p.functional ? qs : nullptr),
+            StreamShape({Dim::fixed(B), Dim::fixed(1)}), req_dt);
+        if (rearm)
+            rearm->req = &req_src;
+        req_port = req_src.out();
     }
 
     // ---- selector streams per strategy --------------------------------
@@ -147,17 +212,19 @@ buildAttentionLayer(Graph& g, const AttnParams& p,
                          !p.staticAssign;
     if (!dynamic) {
         auto assign = staticAssignment(p);
-        auto mk_sel = [&](const std::string& name) {
-            std::vector<Token> toks;
-            for (uint32_t a : assign)
-                toks.push_back(Token::data(Selector::oneHot(a)));
-            toks.push_back(Token::done());
-            return g.add<SourceOp>(name, std::move(toks),
+        auto mk_sel = [&](const std::string& name) -> SourceOp& {
+            return g.add<SourceOp>(name, assignSelTokens(assign),
                                    StreamShape({Dim::fixed(B)}),
-                                   DataType::selector(p.regions)).out();
+                                   DataType::selector(p.regions));
         };
-        part_sel = mk_sel("attn.selA");
-        gather_sel = mk_sel("attn.selB");
+        SourceOp& sa = mk_sel("attn.selA");
+        SourceOp& sb = mk_sel("attn.selB");
+        if (rearm) {
+            rearm->selA = &sa;
+            rearm->selB = &sb;
+        }
+        part_sel = sa.out();
+        gather_sel = sb.out();
     }
 
     // For the dynamic strategy the partition selector comes from the
@@ -216,6 +283,10 @@ buildAttentionLayer(Graph& g, const AttnParams& p,
                                                  kt, kt.tileBytes());
         auto& vload = g.add<RandomOffChipLoadOp>(nm(name, "v"), abc.out(1),
                                                  vt, vt.tileBytes());
+        if (rearm) {
+            rearm->kLoads.push_back(&kload);
+            rearm->vLoads.push_back(&vload);
+        }
 
         // q stream, expanded over the request's KV tiles.
         MapFn get_q = [](const std::vector<Value>& a, int64_t&) -> Value {
@@ -237,6 +308,8 @@ buildAttentionLayer(Graph& g, const AttnParams& p,
             fns::attnUpdate(gqa), p.computeBw,
             DataType::tuple({DataType::tile(1, 1), DataType::tile(1, 1),
                              DataType::tile(1, d)}));
+        if (rearm)
+            rearm->bwOps.emplace_back(&att, 1);
         auto& fin = g.add<MapOp>(nm(name, "fin"),
                                  std::vector<StreamPort>{att.out()},
                                  fns::attnFinish(), 256,
@@ -257,6 +330,65 @@ buildAttentionLayer(Graph& g, const AttnParams& p,
     auto& re = g.add<ReassembleOp>("attn.gather", region_outs, gather_sel,
                                    1);
     return AttnBuild{re.out()};
+}
+
+void
+rearmAttentionLayer(const AttnRearmHandles& h, const AttnParams& p,
+                    const std::vector<int64_t>& kv_lens)
+{
+    STEP_ASSERT(!p.functional,
+                "rearm supports timing mode only (functional payloads "
+                "require a rebuild)");
+    const int64_t d = p.cfg.numKvHeads * p.cfg.headDim;
+    const int64_t Tk = p.kvTileRows;
+
+    int64_t tot_tiles = 0;
+    std::vector<int64_t> base_tile = kvBaseTiles(kv_lens, Tk, &tot_tiles);
+    OffChipTensor kt;
+    OffChipTensor vt;
+    kvShapeTensors(tot_tiles, Tk, d, &kt, &vt);
+    {
+        RearmSpec s;
+        s.tensor = &kt;
+        for (RandomOffChipLoadOp* op : h.kLoads)
+            op->rearm(s);
+        s.tensor = &vt;
+        for (RandomOffChipLoadOp* op : h.vLoads)
+            op->rearm(s);
+    }
+
+    if (h.meta) {
+        std::vector<Token> toks = attnMetaTokens(kv_lens, base_tile, Tk);
+        RearmSpec s;
+        s.tokens = &toks;
+        h.meta->rearm(s);
+    }
+    if (h.req) {
+        std::vector<Token> toks =
+            attnReqTokens(kv_lens, base_tile, Tk, d, nullptr);
+        RearmSpec s;
+        s.tokens = &toks;
+        h.req->rearm(s);
+    }
+    if (h.selA || h.selB) {
+        auto assign = staticAssignment(p);
+        RearmSpec s;
+        std::vector<Token> ta = assignSelTokens(assign);
+        std::vector<Token> tb = assignSelTokens(assign);
+        if (h.selA) {
+            s.tokens = &ta;
+            h.selA->rearm(s);
+        }
+        if (h.selB) {
+            s.tokens = &tb;
+            h.selB->rearm(s);
+        }
+    }
+    for (const auto& [op, div] : h.bwOps) {
+        RearmSpec s;
+        s.computeBw = p.computeBw / div;
+        op->rearm(s);
+    }
 }
 
 std::vector<std::vector<float>>

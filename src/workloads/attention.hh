@@ -50,6 +50,29 @@ struct AttnBuild
     StreamPort out;
 };
 
+class SourceOp;
+class RandomOffChipLoadOp;
+
+/**
+ * Typed handles to the operators of a built attention layer that carry
+ * per-iteration state. Populated by buildAttentionLayer when requested;
+ * rearmAttentionLayer() patches them for the next iteration's KV
+ * lengths and policy bandwidth without reconstructing the graph.
+ * Pointers are owned by the graph and die with it (or with its next
+ * recycle), so handles must be refreshed on every full rebuild.
+ */
+struct AttnRearmHandles
+{
+    SourceOp* req = nullptr;  ///< standalone (q, meta) request stream
+    SourceOp* meta = nullptr; ///< meta stream zipped with ext_q rows
+    SourceOp* selA = nullptr; ///< static partition selector
+    SourceOp* selB = nullptr; ///< static gather selector
+    std::vector<RandomOffChipLoadOp*> kLoads; ///< per-region K loads
+    std::vector<RandomOffChipLoadOp*> vLoads; ///< per-region V loads
+    /** (op, divisor): rearmed bandwidth = p.computeBw / divisor. */
+    std::vector<std::pair<OpBase*, int64_t>> bwOps;
+};
+
 /**
  * Build the attention layer. @p kv_lens gives each request's KV length
  * in tokens. Functional mode takes per-request q vectors and K/V
@@ -60,7 +83,17 @@ AttnBuild buildAttentionLayer(
     const std::vector<std::vector<float>>* qs = nullptr,
     const std::vector<std::vector<float>>* ks = nullptr,
     const std::vector<std::vector<float>>* vs = nullptr,
-    const StreamPort* ext_q = nullptr);
+    const StreamPort* ext_q = nullptr,
+    AttnRearmHandles* rearm = nullptr);
+
+/**
+ * Re-arm a built attention layer for new per-request KV lengths and the
+ * current policy bandwidth (timing mode only). Requires the owning
+ * graph to have been rearm()-ed first; produces metrics bit-identical
+ * to a full rebuild with the same parameters.
+ */
+void rearmAttentionLayer(const AttnRearmHandles& h, const AttnParams& p,
+                         const std::vector<int64_t>& kv_lens);
 
 /** Dense softmax-attention reference for functional checking. */
 std::vector<std::vector<float>>

@@ -17,13 +17,79 @@ nm(const std::string& base, const std::string& suffix)
     return base + "." + suffix;
 }
 
+/** Attention sub-layer parameters derived from the decoder's (build and
+ *  rearm must agree exactly). */
+AttnParams
+attnParamsFor(const DecoderParams& p, int64_t batch)
+{
+    AttnParams ap;
+    ap.cfg = p.cfg;
+    ap.batch = batch;
+    ap.strategy = p.attnStrategy;
+    ap.regions = p.attnRegions;
+    ap.kvTileRows = p.kvTileRows;
+    ap.computeBw = p.computeBwPerMatmul;
+    ap.coarseBlock = std::max<int64_t>(1, batch / p.attnRegions);
+    ap.seed = p.seed;
+    return ap;
+}
+
+/** MoE sub-layer parameters derived from the decoder's. */
+MoeParams
+moeParamsFor(const DecoderParams& p, int64_t batch)
+{
+    MoeParams mp;
+    mp.cfg = p.cfg;
+    mp.batch = batch;
+    mp.tiling = p.moeTiling;
+    mp.tileRows = p.moeTile;
+    mp.weightTileCols = p.weightTileCols;
+    mp.computeBwPerMatmul = p.cfg.moeMatmulBw;
+    mp.parallelRegions = p.moeRegions;
+    mp.seed = p.seed;
+    return mp;
+}
+
 } // namespace
+
+SimConfig
+iterationSimConfig(int64_t batch)
+{
+    SimConfig sc;
+    sc.channelCapacity = static_cast<size_t>(batch) + 32;
+    return sc;
+}
+
+DecoderStructKey
+decoderStructKey(const DecoderParams& p, int64_t batch)
+{
+    DecoderStructKey k;
+    k.batch = batch;
+    k.hidden = p.cfg.hidden;
+    k.moeIntermediate = p.cfg.moeIntermediate;
+    k.numExperts = p.cfg.numExperts;
+    k.topK = p.cfg.topK;
+    k.headDim = p.cfg.headDim;
+    k.numQHeads = p.cfg.numQHeads;
+    k.numKvHeads = p.cfg.numKvHeads;
+    k.moeTiling = p.moeTiling;
+    k.moeTile = p.moeTile;
+    k.moeRegions = p.moeRegions;
+    k.attnStrategy = p.attnStrategy;
+    k.attnRegions = p.attnRegions;
+    k.kvTileRows = p.kvTileRows;
+    k.denseTile = p.denseTile;
+    k.weightTileCols = p.weightTileCols;
+    k.seed = p.seed;
+    return k;
+}
 
 StreamPort
 buildDenseProj(Graph& g, const std::string& name, StreamPort in_rows,
                int64_t in_cols, int64_t out_cols, int64_t tile_rows,
                int64_t weight_tile_cols, int64_t compute_bw,
-               uint64_t weight_base_addr)
+               uint64_t weight_base_addr,
+               std::vector<std::pair<OpBase*, int64_t>>* bw_ops)
 {
     const int64_t Tc = weight_tile_cols;
     STEP_ASSERT(out_cols % Tc == 0, "dense out_cols must divide by tile");
@@ -37,6 +103,8 @@ buildDenseProj(Graph& g, const std::string& name, StreamPort in_rows,
                               fns::retileRowInit(in_cols),
                               fns::retileRowUpdate(), compute_bw / 4,
                               DataType::tile(tile_rows, in_cols));
+    if (bw_ops)
+        bw_ops->emplace_back(&pk, 4);
     auto& pbc = g.add<BroadcastOp>(nm(name, "pbc"), pk.out(), 2);
 
     OffChipTensor wt = OffChipTensor::shapeOnly(weight_base_addr, in_cols,
@@ -51,10 +119,14 @@ buildDenseProj(Graph& g, const std::string& name, StreamPort in_rows,
         nm(name, "mm"), std::vector<StreamPort>{rep.out(), wfl.out()},
         fns::matmul(), compute_bw, DataType::tile(tile_rows, Tc));
     mm.setMatmulMemSpec(1);
+    if (bw_ops)
+        bw_ops->emplace_back(&mm, 1);
     auto& pc = g.add<AccumOp>(nm(name, "packcol"), mm.out(), 1,
                               fns::retileColInit(0), fns::retileColUpdate(),
                               compute_bw / 4,
                               DataType::tile(tile_rows, out_cols));
+    if (bw_ops)
+        bw_ops->emplace_back(&pc, 4);
     auto& fm = g.add<FlatMapOp>(nm(name, "unpack"), pc.out(),
                                 fns::retileStreamify(1),
                                 StreamShape({Dim::ragged()}),
@@ -68,7 +140,8 @@ buildDenseProj(Graph& g, const std::string& name, StreamPort in_rows,
 void
 buildDecoderLayer(Graph& g, const DecoderParams& p,
                   const ExpertTrace& trace,
-                  const std::vector<int64_t>& kv_lens)
+                  const std::vector<int64_t>& kv_lens,
+                  DecoderRearmHandles* rearm)
 {
     const int64_t H = p.cfg.hidden;
     const int64_t d = p.cfg.numKvHeads * p.cfg.headDim;
@@ -77,21 +150,21 @@ buildDecoderLayer(Graph& g, const DecoderParams& p,
     const auto B = static_cast<int64_t>(kv_lens.size());
     STEP_ASSERT(static_cast<int64_t>(trace.perToken.size()) == B,
                 "trace/kv batch mismatch");
+    if (rearm) {
+        // Drop handles from any previous build; the caller manages the
+        // key, validity, and path counters around this call.
+        rearm->layerIn = nullptr;
+        rearm->denseBwOps.clear();
+        rearm->attn = AttnRearmHandles{};
+        rearm->moe = MoeRearmHandles{};
+    }
 
     // Layer input activations.
-    std::vector<Token> in_toks;
-    StopCoalescer coal;
-    for (int64_t t = 0; t < B; ++t) {
-        for (auto& tk : coal.onData(Value(Tile(1, H))))
-            in_toks.push_back(tk);
-        for (auto& tk : coal.onStop(1))
-            in_toks.push_back(tk);
-    }
-    for (auto& tk : coal.onDone())
-        in_toks.push_back(tk);
     auto& in_src = g.add<SourceOp>(
-        "layer.in", std::move(in_toks),
+        "layer.in", rowStreamTokens(B, H),
         StreamShape({Dim::fixed(B), Dim::fixed(1)}), DataType::tile(1, H));
+    if (rearm)
+        rearm->layerIn = &in_src;
 
     // Weight address space above the MoE/KV regions.
     const uint64_t wbase = uint64_t{1} << 40;
@@ -99,7 +172,8 @@ buildDecoderLayer(Graph& g, const DecoderParams& p,
     // ---- QKV projection ---------------------------------------------
     StreamPort qkv = buildDenseProj(g, "qkv", in_src.out(), H, qkv_cols,
                                     p.denseTile, p.weightTileCols,
-                                    p.computeBwPerMatmul, wbase);
+                                    p.computeBwPerMatmul, wbase,
+                                    rearm ? &rearm->denseBwOps : nullptr);
     // Slice out the q head group (timing: emits a [1,d] row per token).
     MapFn slice_q = [d](const std::vector<Value>& a, int64_t&) -> Value {
         (void)a;
@@ -112,54 +186,87 @@ buildDecoderLayer(Graph& g, const DecoderParams& p,
     auto& qchunk = g.add<RepeatOp>("qkv.qchunk", qrows.out(), 1);
 
     // ---- attention -----------------------------------------------------
-    AttnParams ap;
-    ap.cfg = p.cfg;
-    ap.batch = B;
-    ap.strategy = p.attnStrategy;
-    ap.regions = p.attnRegions;
-    ap.kvTileRows = p.kvTileRows;
-    ap.computeBw = p.computeBwPerMatmul;
-    ap.coarseBlock = std::max<int64_t>(1, B / p.attnRegions);
-    ap.seed = p.seed;
+    AttnParams ap = attnParamsFor(p, B);
     StreamPort qport = qchunk.out();
     AttnBuild ab = buildAttentionLayer(g, ap, kv_lens, nullptr, nullptr,
-                                       nullptr, &qport);
+                                       nullptr, &qport,
+                                       rearm ? &rearm->attn : nullptr);
     // [B, 1, 1] -> [B, 1] rows of [1,d].
     auto& aflat = g.add<FlattenOp>("attn.outflat", ab.out, 0, 1);
 
     // ---- output projection back to H ---------------------------------
     StreamPort oproj = buildDenseProj(
         g, "oproj", aflat.out(), d, H, p.denseTile, p.weightTileCols,
-        p.computeBwPerMatmul, wbase + (uint64_t{1} << 36));
+        p.computeBwPerMatmul, wbase + (uint64_t{1} << 36),
+        rearm ? &rearm->denseBwOps : nullptr);
 
     // ---- MoE FFN -------------------------------------------------------
-    MoeParams mp;
-    mp.cfg = p.cfg;
-    mp.batch = B;
-    mp.tiling = p.moeTiling;
-    mp.tileRows = p.moeTile;
-    mp.weightTileCols = p.weightTileCols;
-    mp.computeBwPerMatmul = p.cfg.moeMatmulBw;
-    mp.parallelRegions = p.moeRegions;
-    mp.seed = p.seed;
-    MoeBuild mb = buildMoeLayer(g, mp, trace, nullptr, &oproj);
+    MoeParams mp = moeParamsFor(p, B);
+    MoeBuild mb = buildMoeLayer(g, mp, trace, nullptr, &oproj,
+                                rearm ? &rearm->moe : nullptr);
 
     // ---- store the layer output ----------------------------------------
     g.add<LinearOffChipStoreOp>("layer.store", mb.out,
                                 uint64_t{1} << 44);
 }
 
+void
+rearmDecoderLayer(Graph& g, const DecoderRearmHandles& h,
+                  const DecoderParams& p, const IterationSpec& spec)
+{
+    const auto B = static_cast<int64_t>(spec.kvLens.size());
+    STEP_ASSERT(h.valid && h.key == decoderStructKey(p, B),
+                "rearmDecoderLayer structural key mismatch: recycle and "
+                "rebuild instead");
+    STEP_ASSERT(static_cast<int64_t>(spec.trace.perToken.size()) == B,
+                "trace/kv batch mismatch");
+    g.rearm(iterationSimConfig(B));
+
+    std::vector<Token> in_toks = rowStreamTokens(B, p.cfg.hidden);
+    RearmSpec s;
+    s.tokens = &in_toks;
+    h.layerIn->rearm(s);
+
+    for (const auto& [op, div] : h.denseBwOps) {
+        RearmSpec bs;
+        bs.computeBw = p.computeBwPerMatmul / div;
+        op->rearm(bs);
+    }
+    rearmAttentionLayer(h.attn, attnParamsFor(p, B), spec.kvLens);
+    rearmMoeLayer(h.moe, moeParamsFor(p, B), spec.trace);
+}
+
 SimResult
 runDecoderIteration(const DecoderParams& p, const IterationSpec& spec,
-                    dam::Scheduler* sched, Graph* reuse)
+                    dam::Scheduler* sched, Graph* reuse,
+                    DecoderRearmHandles* rearm)
 {
     const auto B = static_cast<int64_t>(spec.kvLens.size());
     STEP_ASSERT(B > 0, "decoder iteration over an empty batch");
-    SimConfig sc;
-    sc.channelCapacity = static_cast<size_t>(B) + 32;
+    SimConfig sc = iterationSimConfig(B);
     if (reuse) {
-        reuse->recycle(sc);
-        buildDecoderLayer(*reuse, p, spec.trace, spec.kvLens);
+        if (rearm) {
+            DecoderStructKey key = decoderStructKey(p, B);
+            if (rearm->valid && rearm->key == key) {
+                // Fast path: patch the recycled graph in place instead
+                // of re-running ~190 operator constructors.
+                ++rearm->rearms;
+                rearmDecoderLayer(*reuse, *rearm, p, spec);
+            } else {
+                // Structural change (batch size, layer config, policy
+                // split): fall back to a full recycle + rebuild and
+                // refresh the handles.
+                ++rearm->rebuilds;
+                reuse->recycle(sc);
+                buildDecoderLayer(*reuse, p, spec.trace, spec.kvLens,
+                                  rearm);
+                rearm->key = key;
+                rearm->valid = true;
+            }
+        } else {
+            reuse->recycle(sc);
+            buildDecoderLayer(*reuse, p, spec.trace, spec.kvLens);
+        }
         if (sched)
             return reuse->run(*sched);
         return reuse->run();

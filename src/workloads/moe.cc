@@ -30,6 +30,16 @@ struct PipelineCtx
     Graph& g;
     const MoeParams& p;
     int64_t matmulBw;
+    /** When set, ops billed against the region bandwidth are recorded
+     *  as (op, divisor) pairs for the rearm path. */
+    std::vector<std::pair<OpBase*, int64_t>>* bwOps = nullptr;
+
+    void
+    record(OpBase& op, int64_t divisor)
+    {
+        if (bwOps)
+            bwOps->emplace_back(&op, divisor);
+    }
 };
 
 /** rows(name): suffix helper. */
@@ -55,10 +65,12 @@ matmulPath(PipelineCtx& ctx, const std::string& name, StreamPort packed,
         DataType::tile(packed.dtype.tileRows(),
                        Dim::fixed(ctx.p.weightTileCols)));
     mm.setMatmulMemSpec(1);
+    ctx.record(mm, 1);
     auto& packcol = ctx.g.add<AccumOp>(
         nm(name, "packcol"), mm.out(), 1, fns::retileColInit(0),
         fns::retileColUpdate(), ctx.matmulBw / 4,
         DataType::tile(packed.dtype.tileRows(), Dim::fixed(out_cols)));
+    ctx.record(packcol, 4);
     return packcol.out();
 }
 
@@ -94,6 +106,7 @@ expertPipeline(PipelineCtx& ctx, const std::string& name, StreamPort rows,
             nm(name, "packrow"), rs.out(), 1, fns::retileRowInit(H),
             fns::retileRowUpdate(), ctx.matmulBw / 4,
             DataType::tile(p.tileRows, H));
+        ctx.record(pk, 4);
         packed = pk.out();
         pad = rs.padOut();
     } else {
@@ -106,6 +119,7 @@ expertPipeline(PipelineCtx& ctx, const std::string& name, StreamPort rows,
             nm(name, "packrow"), grouped, 1, fns::retileRowInit(H),
             fns::retileRowUpdate(), ctx.matmulBw / 4,
             DataType::tile(Dim::ragged(), Dim::fixed(H)));
+        ctx.record(pk, 4);
         packed = pk.out();
     }
 
@@ -176,7 +190,57 @@ matrixGeom(const MoeParams& p, int matrix)
     return {p.cfg.hidden, p.cfg.moeIntermediate};
 }
 
+/** Router selector stream tokens ([B] multi-hot; build and rearm must
+ *  agree exactly). */
+std::vector<Token>
+moeSelTokens(const ExpertTrace& trace)
+{
+    std::vector<Token> toks;
+    toks.reserve(trace.perToken.size() + 1);
+    for (const auto& picks : trace.perToken)
+        toks.push_back(Token::data(Selector(picks)));
+    toks.push_back(Token::done());
+    return toks;
+}
+
 } // namespace
+
+std::vector<Token>
+rowStreamTokens(int64_t batch, int64_t hidden,
+                const std::vector<std::vector<float>>* rows)
+{
+    std::vector<Token> toks;
+    StopCoalescer coal;
+    for (int64_t t = 0; t < batch; ++t) {
+        Tile row = rows
+            ? Tile::withData(1, hidden, (*rows)[static_cast<size_t>(t)])
+            : Tile(1, hidden);
+        for (auto& tk : coal.onData(Value(std::move(row))))
+            toks.push_back(tk);
+        for (auto& tk : coal.onStop(1))
+            toks.push_back(tk);
+    }
+    for (auto& tk : coal.onDone())
+        toks.push_back(tk);
+    return toks;
+}
+
+int64_t
+moeRegionBw(const MoeParams& p)
+{
+    const int64_t E = p.cfg.numExperts;
+    const int64_t regions = p.parallelRegions > 0 ? p.parallelRegions : E;
+    STEP_ASSERT(regions > 0 && E % regions == 0,
+                "experts must divide evenly into " << regions
+                << " regions");
+    const int64_t experts_per_region = E / regions;
+    if (experts_per_region <= 1)
+        return p.computeBwPerMatmul;
+    auto factor = static_cast<int64_t>(std::ceil(
+        p.regionBwBeta *
+        std::sqrt(static_cast<double>(experts_per_region))));
+    return p.computeBwPerMatmul * std::min(experts_per_region, factor);
+}
 
 std::vector<float>
 moeWeightMatrix(uint64_t seed, int64_t expert, int matrix, int64_t rows,
@@ -193,7 +257,7 @@ moeWeightMatrix(uint64_t seed, int64_t expert, int matrix, int64_t rows,
 MoeBuild
 buildMoeLayer(Graph& g, const MoeParams& p, const ExpertTrace& trace,
               const std::vector<std::vector<float>>* token_rows,
-              const StreamPort* ext_in)
+              const StreamPort* ext_in, MoeRearmHandles* rearm)
 {
     const int64_t H = p.cfg.hidden;
     const int64_t I = p.cfg.moeIntermediate;
@@ -210,40 +274,26 @@ buildMoeLayer(Graph& g, const MoeParams& p, const ExpertTrace& trace,
     if (ext_in) {
         in_port = *ext_in;
     } else {
-        std::vector<Token> in_toks;
-        StopCoalescer coal;
-        for (int64_t t = 0; t < B; ++t) {
-            Tile row = token_rows
-                ? Tile::withData(1, H,
-                                 (*token_rows)[static_cast<size_t>(t)])
-                : Tile(1, H);
-            for (auto& tk : coal.onData(Value(std::move(row))))
-                in_toks.push_back(tk);
-            for (auto& tk : coal.onStop(1))
-                in_toks.push_back(tk);
-        }
-        for (auto& tk : coal.onDone())
-            in_toks.push_back(tk);
-        in_port = g.add<SourceOp>(
-            "moe.in", std::move(in_toks),
+        auto& in_src = g.add<SourceOp>(
+            "moe.in", rowStreamTokens(B, H, token_rows),
             StreamShape({Dim::fixed(B), Dim::fixed(1)}),
-            DataType::tile(1, H)).out();
+            DataType::tile(1, H));
+        if (rearm)
+            rearm->in = &in_src;
+        in_port = in_src.out();
     }
 
     // ---- router selector streams ------------------------------------
-    auto sel_tokens = [&]() {
-        std::vector<Token> toks;
-        for (const auto& picks : trace.perToken)
-            toks.push_back(Token::data(Selector(picks)));
-        toks.push_back(Token::done());
-        return toks;
-    };
-    auto& selA = g.add<SourceOp>("moe.selA", sel_tokens(),
+    auto& selA = g.add<SourceOp>("moe.selA", moeSelTokens(trace),
                                  StreamShape({Dim::fixed(B)}),
                                  DataType::selector(E));
-    auto& selB = g.add<SourceOp>("moe.selB", sel_tokens(),
+    auto& selB = g.add<SourceOp>("moe.selB", moeSelTokens(trace),
                                  StreamShape({Dim::fixed(B)}),
                                  DataType::selector(E));
+    if (rearm) {
+        rearm->selA = &selA;
+        rearm->selB = &selB;
+    }
 
     auto& part = g.add<PartitionOp>("moe.part", in_port, selA.out(),
                                     1, static_cast<size_t>(E));
@@ -275,15 +325,7 @@ buildMoeLayer(Graph& g, const MoeParams& p, const ExpertTrace& trace,
     STEP_ASSERT(E % regions == 0, "experts must divide evenly into "
                 << regions << " regions");
     const bool timemux = experts_per_region > 1;
-
-    int64_t region_bw = p.computeBwPerMatmul;
-    if (timemux) {
-        auto factor = static_cast<int64_t>(std::ceil(
-            p.regionBwBeta *
-            std::sqrt(static_cast<double>(experts_per_region))));
-        region_bw = p.computeBwPerMatmul *
-                    std::min(experts_per_region, factor);
-    }
+    const int64_t region_bw = moeRegionBw(p);
 
     std::vector<StreamPort> expert_rows(static_cast<size_t>(E));
 
@@ -294,7 +336,8 @@ buildMoeLayer(Graph& g, const MoeParams& p, const ExpertTrace& trace,
             OffChipTensor w1t = make_tensor(1, e, kW1);
             OffChipTensor w3t = make_tensor(1, e, kW3);
             OffChipTensor w2t = make_tensor(1, e, kW2);
-            PipelineCtx ctx{g, p, region_bw};
+            PipelineCtx ctx{g, p, region_bw,
+                            rearm ? &rearm->regionBwOps : nullptr};
             WeightLoader loader =
                 [&, w1t, w3t, w2t](const std::string& lname,
                                    StreamPort trigger,
@@ -332,7 +375,8 @@ buildMoeLayer(Graph& g, const MoeParams& p, const ExpertTrace& trace,
         for (int64_t rgn = 0; rgn < regions; ++rgn) {
             std::string name = "moe.r" + std::to_string(rgn);
             int64_t e0 = rgn * experts_per_region;
-            PipelineCtx ctx{g, p, region_bw};
+            PipelineCtx ctx{g, p, region_bw,
+                            rearm ? &rearm->regionBwOps : nullptr};
 
             // Per-expert packing into tiles.
             std::vector<StreamPort> packed_streams;
@@ -355,6 +399,8 @@ buildMoeLayer(Graph& g, const MoeParams& p, const ExpertTrace& trace,
                         fns::retileRowInit(H), fns::retileRowUpdate(),
                         p.computeBwPerMatmul / 4,
                         DataType::tile(p.tileRows, H));
+                    if (rearm)
+                        rearm->baseBwOps.emplace_back(&pk, 4);
                     packed_streams.push_back(pk.out());
                     pad_streams[static_cast<size_t>(k)] = rs.padOut();
                 } else {
@@ -365,6 +411,8 @@ buildMoeLayer(Graph& g, const MoeParams& p, const ExpertTrace& trace,
                         fns::retileRowInit(H), fns::retileRowUpdate(),
                         p.computeBwPerMatmul / 4,
                         DataType::tile(Dim::ragged(), Dim::fixed(H)));
+                    if (rearm)
+                        rearm->baseBwOps.emplace_back(&pk, 4);
                     packed_streams.push_back(pk.out());
                 }
             }
@@ -458,6 +506,44 @@ buildMoeLayer(Graph& g, const MoeParams& p, const ExpertTrace& trace,
         "moe.combine", re.out(), 2, fns::zeroInit(1, H), fns::addUpdate(),
         256, DataType::tile(1, H));
     return MoeBuild{comb.out()};
+}
+
+void
+rearmMoeLayer(const MoeRearmHandles& h, const MoeParams& p,
+              const ExpertTrace& trace)
+{
+    STEP_ASSERT(!p.functional,
+                "rearm supports timing mode only (functional payloads "
+                "require a rebuild)");
+    RearmSpec s;
+    if (h.selA) {
+        std::vector<Token> toks = moeSelTokens(trace);
+        s.tokens = &toks;
+        h.selA->rearm(s);
+    }
+    if (h.selB) {
+        std::vector<Token> toks = moeSelTokens(trace);
+        s.tokens = &toks;
+        h.selB->rearm(s);
+    }
+    if (h.in) {
+        std::vector<Token> toks = rowStreamTokens(
+            static_cast<int64_t>(trace.perToken.size()), p.cfg.hidden);
+        s.tokens = &toks;
+        h.in->rearm(s);
+    }
+
+    const int64_t region_bw = moeRegionBw(p);
+    for (const auto& [op, div] : h.regionBwOps) {
+        RearmSpec bs;
+        bs.computeBw = region_bw / div;
+        op->rearm(bs);
+    }
+    for (const auto& [op, div] : h.baseBwOps) {
+        RearmSpec bs;
+        bs.computeBw = p.computeBwPerMatmul / div;
+        op->rearm(bs);
+    }
 }
 
 std::vector<std::vector<float>>

@@ -59,6 +59,33 @@ struct MoeBuild
     StreamPort out;
 };
 
+class SourceOp;
+
+/**
+ * Typed handles to the operators of a built MoE layer that carry
+ * per-iteration state (router selector streams, input activations,
+ * policy-assigned matmul bandwidths). Populated by buildMoeLayer when
+ * requested; rearmMoeLayer() patches them for the next iteration's
+ * expert trace. Pointers die with the graph build.
+ */
+struct MoeRearmHandles
+{
+    SourceOp* in = nullptr;   ///< standalone input stream (no ext_in)
+    SourceOp* selA = nullptr; ///< router partition selector
+    SourceOp* selB = nullptr; ///< router gather selector
+    /** (op, divisor): rearmed bandwidth = moeRegionBw(p) / divisor. */
+    std::vector<std::pair<OpBase*, int64_t>> regionBwOps;
+    /** (op, divisor): rearmed bw = p.computeBwPerMatmul / divisor. */
+    std::vector<std::pair<OpBase*, int64_t>> baseBwOps;
+};
+
+/**
+ * Compute bandwidth provisioned to one expert region (the
+ * oversubscription rule of MoeParams::regionBwBeta). Shared by the
+ * builder and the rearm path so both assign identical bandwidths.
+ */
+int64_t moeRegionBw(const MoeParams& p);
+
 /**
  * Build the MoE layer into @p g. @p token_rows supplies functional input
  * activations (batch x H); null in timing mode.
@@ -67,7 +94,17 @@ MoeBuild buildMoeLayer(Graph& g, const MoeParams& p,
                        const ExpertTrace& trace,
                        const std::vector<std::vector<float>>* token_rows
                            = nullptr,
-                       const StreamPort* ext_in = nullptr);
+                       const StreamPort* ext_in = nullptr,
+                       MoeRearmHandles* rearm = nullptr);
+
+/**
+ * Re-arm a built MoE layer for a new expert-routing trace and the
+ * current policy bandwidth (timing mode only). The trace's batch size
+ * and the layer geometry must match the build; metrics are
+ * bit-identical to a full rebuild with the same parameters.
+ */
+void rearmMoeLayer(const MoeRearmHandles& h, const MoeParams& p,
+                   const ExpertTrace& trace);
 
 /** Dense reference: same weights/combine rule as the STeP graph. */
 std::vector<std::vector<float>>
@@ -77,6 +114,16 @@ referenceMoe(const MoeParams& p, const ExpertTrace& trace,
 /** Deterministic weight matrix used by both builder and reference. */
 std::vector<float> moeWeightMatrix(uint64_t seed, int64_t expert,
                                    int matrix, int64_t rows, int64_t cols);
+
+/**
+ * [B, 1] row-activation stream tokens ([1,hidden] rows; payload-
+ * carrying only when @p rows is non-null). Shared by the MoE input,
+ * the decoder layer input, and their rearm paths, so the stream
+ * structure can never drift between builders.
+ */
+std::vector<Token> rowStreamTokens(
+    int64_t batch, int64_t hidden,
+    const std::vector<std::vector<float>>* rows = nullptr);
 
 /** FLOPs of the un-padded MoE computation (3 matmuls per assignment). */
 int64_t moeUsefulFlops(const MoeParams& p, const ExpertTrace& trace);

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Correctness of the structure-preserving rearm path: over a hundred-
+ * plus serving iterations with seeded per-iteration KV lengths, expert
+ * traces, and policy bandwidths, the rearm fast path must produce
+ * metrics bit-identical to (a) recycle+rebuild on a reused graph and
+ * (b) a cold graph built from scratch. Mid-run batch-size changes force
+ * the structural-key fallback, which must transparently rebuild and
+ * refresh the handles.
+ */
+#include <gtest/gtest.h>
+
+#include "support/framepool.hh"
+#include "support/rng.hh"
+#include "trace/trace.hh"
+#include "workloads/decoder.hh"
+
+namespace step {
+namespace {
+
+DecoderParams
+baseParams(ParStrategy attn)
+{
+    DecoderParams p;
+    p.cfg = servingSimConfig();
+    p.attnStrategy = attn;
+    p.moeRegions = 4;
+    p.moeTile = 16;
+    p.denseTile = 16;
+    return p;
+}
+
+IterationSpec
+specFor(const DecoderParams& p, uint64_t seed, int64_t batch)
+{
+    IterationSpec spec;
+    Rng rng(seed * 9176 + 13);
+    spec.trace = generateExpertTrace(rng, batch, p.cfg.numExperts,
+                                     p.cfg.topK);
+    spec.kvLens = sampleKvBatch(seed, batch, KvVarClass::Med);
+    return spec;
+}
+
+void
+expectIdentical(const SimResult& a, const SimResult& b, int64_t iter,
+                const char* what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what << " iter " << iter;
+    EXPECT_EQ(a.offChipBytes, b.offChipBytes) << what << " iter " << iter;
+    EXPECT_EQ(a.offChipReadBytes, b.offChipReadBytes)
+        << what << " iter " << iter;
+    EXPECT_EQ(a.offChipWriteBytes, b.offChipWriteBytes)
+        << what << " iter " << iter;
+    EXPECT_EQ(a.onChipPeakBytes, b.onChipPeakBytes)
+        << what << " iter " << iter;
+    EXPECT_EQ(a.totalFlops, b.totalFlops) << what << " iter " << iter;
+    EXPECT_EQ(a.allocatedComputeBw, b.allocatedComputeBw)
+        << what << " iter " << iter;
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches)
+        << what << " iter " << iter;
+}
+
+void
+runComparison(ParStrategy attn)
+{
+    const int64_t kIters = 120;
+    dam::Scheduler sched;
+
+    GraphArena rearm_arena;
+    Graph rearm_graph(SimConfig{}, &rearm_arena);
+    DecoderRearmHandles handles;
+
+    GraphArena rebuild_arena;
+    Graph rebuild_graph(SimConfig{}, &rebuild_arena);
+
+    for (int64_t i = 0; i < kIters; ++i) {
+        // Two structural breaks (batch 4 -> 6 -> 4) plus a per-
+        // iteration bandwidth wobble standing in for policy splits.
+        const int64_t B = (i >= 40 && i < 80) ? 6 : 4;
+        DecoderParams p = baseParams(attn);
+        p.batch = B;
+        p.computeBwPerMatmul = 512 + 128 * (i % 3);
+        p.cfg.moeMatmulBw = p.computeBwPerMatmul;
+        IterationSpec spec =
+            specFor(p, 1000 + static_cast<uint64_t>(i), B);
+
+        SimResult via_rearm = runDecoderIteration(p, spec, &sched,
+                                                  &rearm_graph, &handles);
+        SimResult via_rebuild =
+            runDecoderIteration(p, spec, &sched, &rebuild_graph);
+        SimResult cold = runDecoderIteration(p, spec, &sched);
+
+        expectIdentical(via_rearm, via_rebuild, i, "rearm vs rebuild");
+        expectIdentical(via_rearm, cold, i, "rearm vs cold");
+        if (::testing::Test::HasFailure())
+            break;
+    }
+
+    // Initial build + two structural-key fallbacks; everything else
+    // took the fast path.
+    EXPECT_EQ(handles.rebuilds, 3u);
+    EXPECT_EQ(handles.rearms, static_cast<uint64_t>(kIters) - 3u);
+}
+
+TEST(Rearm, BitIdenticalStaticAttention)
+{
+    runComparison(ParStrategy::StaticInterleaved);
+}
+
+TEST(Rearm, BitIdenticalDynamicAttention)
+{
+    runComparison(ParStrategy::Dynamic);
+}
+
+TEST(Rearm, RepeatedRearmWithoutRunIsIdempotent)
+{
+    DecoderParams p = baseParams(ParStrategy::StaticInterleaved);
+    p.batch = 4;
+    IterationSpec spec = specFor(p, 7, 4);
+
+    dam::Scheduler sched;
+    GraphArena arena;
+    Graph g(SimConfig{}, &arena);
+    DecoderRearmHandles h;
+    SimResult first = runDecoderIteration(p, spec, &sched, &g, &h);
+
+    // Benches time rearmDecoderLayer in a loop without running the
+    // graph in between; the extra rearms must not perturb the next run.
+    for (int i = 0; i < 5; ++i)
+        rearmDecoderLayer(g, h, p, spec);
+    SimResult again = runDecoderIteration(p, spec, &sched, &g, &h);
+    expectIdentical(first, again, 0, "after repeated rearm");
+}
+
+TEST(Rearm, FramePoolRecyclesFrames)
+{
+    DecoderParams p = baseParams(ParStrategy::StaticInterleaved);
+    p.batch = 4;
+    IterationSpec spec = specFor(p, 11, 4);
+
+    dam::Scheduler sched;
+    GraphArena arena;
+    Graph g(SimConfig{}, &arena);
+    DecoderRearmHandles h;
+    runDecoderIteration(p, spec, &sched, &g, &h); // builds all frames
+
+    FramePool::Stats before = FramePool::stats();
+    runDecoderIteration(p, spec, &sched, &g, &h);
+    FramePool::Stats after = FramePool::stats();
+    // A steady-state iteration allocates every coroutine frame from the
+    // pool's freelists, not the heap.
+    EXPECT_GT(after.hits, before.hits);
+    EXPECT_EQ(after.misses, before.misses);
+}
+
+} // namespace
+} // namespace step
