@@ -7,12 +7,25 @@
  * capacity, queue-depth-driven reallocation holds TTFT down during
  * bursts and turns that into a goodput gap over the static split.
  *
- *   ./bench_serving_load [--seed N] [--requests N]
+ * With --replicas N the sweep runs a ServingCluster instead of a single
+ * engine: the trace (and its arrival rate) scales by N so every replica
+ * sees the same operating point, the N shared-nothing replica
+ * simulations run on worker threads, and the reported metrics are the
+ * raw-sample cluster aggregates — so the sweep finally uses more than
+ * one core. The closing "sweep:" line reports wall-clock simulation
+ * throughput (requests simulated per second of real time) for comparing
+ * replica counts.
+ *
+ *   ./bench_serving_load [--seed N] [--requests N] [--replicas N]
+ *                        [--threads N] [--routing rr|lq|hash]
  */
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iostream>
+#include <string>
 
-#include "runtime/engine.hh"
+#include "runtime/cluster.hh"
 #include "support/rng.hh"
 #include "support/table.hh"
 
@@ -24,22 +37,52 @@ main(int argc, char** argv)
 {
     uint64_t seed = seedFromArgsOrEnv(argc, argv);
     int64_t requests = 160;
+    int64_t replicas = 1;
+    int64_t threads = 0; // 0 = one per replica
+    RouteKind routing = RouteKind::LeastQueued;
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--requests") == 0)
             requests = std::strtoll(argv[i + 1], nullptr, 0);
+        if (std::strcmp(argv[i], "--replicas") == 0)
+            replicas = std::strtoll(argv[i + 1], nullptr, 0);
+        if (std::strcmp(argv[i], "--threads") == 0)
+            threads = std::strtoll(argv[i + 1], nullptr, 0);
+        if (std::strcmp(argv[i], "--routing") == 0) {
+            std::string r = argv[i + 1];
+            routing = r == "rr"     ? RouteKind::RoundRobin
+                      : r == "hash" ? RouteKind::HashAffinity
+                                    : RouteKind::LeastQueued;
+        }
     }
+    if (replicas < 1)
+        replicas = 1;
+    // Mirror the cluster's own clamp so the printed configuration is the
+    // one that actually ran.
+    threads = std::min(threads > 0 ? threads : replicas, replicas);
+    const int64_t per_point = requests * replicas;
 
-    std::cout << "\n=== Serving load sweep (" << requests
-              << " requests/point, seed " << seed << ") ===\n\n";
+    std::cout << "\n=== Serving load sweep (" << per_point
+              << " requests/point, seed " << seed << ", replicas "
+              << replicas;
+    if (replicas > 1)
+        std::cout << ", threads " << threads << ", routing "
+                  << routeKindName(routing);
+    std::cout << ") ===\n\n";
 
     Table t({"arrivals/Mcycle", "policy", "TTFT p50", "TTFT p99",
              "TPOT p50", "TPOT p99", "tput tok/kcyc", "goodput",
              "SLO ok", "util %"});
+    const auto t0 = std::chrono::steady_clock::now();
+    int64_t simulated = 0;
     for (double rate_per_mcycle : {0.6, 1.0, 1.4, 1.8}) {
         for (bool dynamic : {false, true}) {
             TraceConfig tc;
-            tc.numRequests = requests;
-            tc.arrivalsPerKcycle = rate_per_mcycle / 1000.0;
+            tc.numRequests = per_point;
+            // Rate scales with the replica count: an N-replica cluster
+            // at the same per-replica operating point absorbs N times
+            // the arrival stream.
+            tc.arrivalsPerKcycle =
+                rate_per_mcycle / 1000.0 * static_cast<double>(replicas);
             tc.burstPeriod = 16'000'000;
             tc.burstDuty = 0.3;
             tc.burstFactor = 4.0;
@@ -54,9 +97,20 @@ main(int argc, char** argv)
                         : static_cast<const Policy&>(static_policy);
 
             auto reqs = generateTrace(tc, deriveSeed(102));
-            ServingEngine engine(ec, policy);
-            EngineResult r = engine.run(reqs);
-            const ServingSummary& s = r.summary;
+            ServingSummary s;
+            if (replicas == 1) {
+                ServingEngine engine(ec, policy);
+                s = engine.run(reqs).summary;
+            } else {
+                ClusterConfig cc;
+                cc.engine = ec;
+                cc.replicas = replicas;
+                cc.threads = threads;
+                cc.routing = routing;
+                ServingCluster cluster(cc, policy);
+                s = cluster.run(reqs).aggregate;
+            }
+            simulated += per_point;
             t.row()
                 .cellF(rate_per_mcycle, 1)
                 .cell(policy.name())
@@ -71,6 +125,15 @@ main(int argc, char** argv)
         }
     }
     t.print();
-    std::cout << "\n(TTFT columns in kcycles, TPOT in kcycles/token)\n";
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    std::cout << "\n(TTFT columns in kcycles, TPOT in kcycles/token; "
+                 "rate column is per replica)\n";
+    std::cout << "sweep: " << simulated << " requests in " << wall_s
+              << " s wall -> " << static_cast<double>(simulated) / wall_s
+              << " requests/s (replicas=" << replicas << ", threads="
+              << threads << ")\n";
     return 0;
 }

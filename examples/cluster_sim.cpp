@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sharded serving-cluster demo: a 480-request bursty workload routed
+ * across 4 shared-nothing replica engines running on worker threads,
+ * once per routing policy (round-robin, least-queued-prompt-tokens,
+ * hash affinity). Prints the cluster aggregate (percentiles recomputed
+ * over the union of raw samples), then the per-replica breakdown for
+ * the work-aware router, showing what the shards actually carried.
+ *
+ *   ./cluster_sim [--seed N]
+ */
+#include <iostream>
+
+#include "runtime/cluster.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+
+using namespace step;
+using namespace step::runtime;
+
+int
+main(int argc, char** argv)
+{
+    uint64_t seed = seedFromArgsOrEnv(argc, argv);
+
+    TraceConfig tc;
+    tc.numRequests = 480;
+    // 4 replicas absorb ~4x the single-engine demo's arrival stream.
+    tc.arrivalsPerKcycle = 0.0048;
+    tc.burstPeriod = 16'000'000;
+    tc.burstDuty = 0.3;
+    tc.burstFactor = 4.0;
+    // Heavy-tailed lengths: equal request counts carry unequal work,
+    // which is where routing policies separate.
+    tc.promptSigma = 1.1;
+    tc.outputSigma = 0.9;
+
+    ClusterConfig cc;
+    cc.replicas = 4;
+
+    std::cout << "serving " << tc.numRequests << " requests (seed "
+              << seed << ") on " << cc.replicas << " replicas of "
+              << cc.engine.model.name << ", " << cc.engine.totalComputeBw
+              << " FLOPs/cycle each\n\n";
+
+    QueueDepthPolicy policy;
+    Table t({"routing", "TTFT p50", "TTFT p99", "TPOT p99",
+             "tput tok/kcyc", "goodput", "SLO ok", "util %"});
+    ClusterResult least_queued;
+    for (RouteKind routing :
+         {RouteKind::RoundRobin, RouteKind::LeastQueued,
+          RouteKind::HashAffinity}) {
+        cc.routing = routing;
+        auto reqs = generateTrace(tc, deriveSeed(2));
+        ServingCluster cluster(cc, policy);
+        ClusterResult r = cluster.run(reqs);
+        const ServingSummary& s = r.aggregate;
+        t.row()
+            .cell(routeKindName(routing))
+            .cellF(s.ttftP50 / 1000.0, 0)
+            .cellF(s.ttftP99 / 1000.0, 0)
+            .cellF(s.tpotP99 / 1000.0, 1)
+            .cellF(s.throughputTokensPerKcycle, 4)
+            .cellF(s.goodputTokensPerKcycle, 4)
+            .cell(s.sloCompliant)
+            .cellF(100.0 * s.computeUtilization, 1);
+        if (routing == RouteKind::LeastQueued)
+            least_queued = std::move(r);
+    }
+    t.print();
+
+    std::cout << "\nper-replica breakdown (least-queued routing):\n";
+    Table per({"replica", "seed", "requests", "iterations", "makespan",
+               "TTFT p99", "util %"});
+    for (const ReplicaResult& rr : least_queued.replicas) {
+        per.row()
+            .cell(rr.replica)
+            .cell(rr.seed)
+            .cell(rr.assignedRequests)
+            .cell(rr.result.iterations)
+            .cell(static_cast<int64_t>(rr.result.summary.makespan))
+            .cellF(rr.result.summary.ttftP99 / 1000.0, 0)
+            .cellF(100.0 * rr.result.summary.computeUtilization, 1);
+    }
+    per.print();
+    std::cout << "\naggregate percentiles are recomputed over the union "
+                 "of the replicas' raw samples ("
+              << least_queued.aggregate.ttftSamples.size()
+              << " TTFT samples), never from per-replica percentiles.\n";
+    return 0;
+}

@@ -32,6 +32,19 @@ class UtilizationTimeline
   public:
     void record(const IterationSample& s) { samples_.push_back(s); }
 
+    /**
+     * Append another timeline's samples (cluster aggregation: replica
+     * timelines overlap in simulated time; every accessor below is
+     * order-insensitive, so a plain append keeps merging deterministic
+     * in call order). Utilization of the merged timeline should be
+     * queried with the *summed* bandwidth of the merged engines.
+     */
+    void merge(const UtilizationTimeline& other)
+    {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+    }
+
     /** End of the last iteration (== serving makespan). */
     dam::Cycle span() const;
 

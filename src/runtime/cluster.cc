@@ -1,0 +1,273 @@
+#include "runtime/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <thread>
+
+#include "support/error.hh"
+#include "support/rng.hh"
+
+namespace step::runtime {
+
+namespace {
+
+/**
+ * Router-side model of one replica for join-least-work routing. A real
+ * ContinuousBatcher (the replica's admission config) tracks the waiting
+ * queue and KV reservations; an analytic serial-server drain model
+ * estimates when assigned requests leave, so the router never needs
+ * feedback from the replica simulations — routing stays a deterministic
+ * single-threaded pre-pass over the trace.
+ */
+struct ShadowReplica
+{
+    explicit ShadowReplica(const BatcherConfig& bc) : batcher(bc) {}
+
+    ContinuousBatcher batcher;
+    /** Stable-address copies of routed requests (the engine later runs
+     *  the originals; the shadow must not mutate their state). */
+    std::deque<Request> owned;
+    struct InFlight
+    {
+        Request* req;
+        dam::Cycle finish; ///< modeled service completion
+    };
+    std::vector<InFlight> inflight;
+    dam::Cycle busyUntil = 0; ///< serial-server horizon
+
+    /** Retire modeled-finished requests and admit from the queue until
+     *  a fixed point (a release can unblock further admissions whose
+     *  finish estimates have also passed). */
+    void
+    drainUntil(dam::Cycle now)
+    {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            batcher.admit();
+            for (auto it = inflight.begin(); it != inflight.end();) {
+                if (it->finish <= now &&
+                    it->req->state == ReqState::Prefilling) {
+                    batcher.release(it->req);
+                    it = inflight.erase(it);
+                    progress = true;
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
+    /** Outstanding prompt tokens: un-admitted waiting work plus
+     *  admitted-but-unfinished work. */
+    int64_t
+    queuedPromptTokens() const
+    {
+        int64_t tokens = batcher.waitingPromptTokens();
+        for (const InFlight& f : inflight)
+            if (f.req->state == ReqState::Prefilling)
+                tokens += f.req->promptLen;
+        return tokens;
+    }
+};
+
+} // namespace
+
+std::string
+routeKindName(RouteKind k)
+{
+    switch (k) {
+      case RouteKind::RoundRobin:
+        return "round-robin";
+      case RouteKind::LeastQueued:
+        return "least-queued";
+      case RouteKind::HashAffinity:
+        return "hash-affinity";
+    }
+    return "?";
+}
+
+ServingCluster::ServingCluster(ClusterConfig cfg, const Policy& policy)
+    : cfg_(std::move(cfg)), policy_(policy)
+{
+    STEP_ASSERT(cfg_.replicas >= 1, "cluster needs at least one replica");
+    STEP_ASSERT(cfg_.threads >= 0, "negative worker-thread count");
+}
+
+std::vector<int64_t>
+ServingCluster::routeTrace(const std::vector<Request>& reqs) const
+{
+    const auto R = static_cast<size_t>(cfg_.replicas);
+    std::vector<int64_t> out(reqs.size(), 0);
+
+    switch (cfg_.routing) {
+      case RouteKind::RoundRobin:
+        for (size_t i = 0; i < reqs.size(); ++i)
+            out[i] = static_cast<int64_t>(i % R);
+        return out;
+
+      case RouteKind::HashAffinity:
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            // Pure function of the request id: a request (session) always
+            // lands on the same replica, whatever else is in the trace.
+            Rng h(0xa24baed4963ee407ULL ^
+                  static_cast<uint64_t>(reqs[i].id));
+            out[i] = static_cast<int64_t>(h.uniformInt(R));
+        }
+        return out;
+
+      case RouteKind::LeastQueued: {
+        BatcherConfig bc = cfg_.engine.batcher;
+        if (bc.kvBytesPerToken == 0)
+            bc.kvBytesPerToken = cfg_.engine.model.kvBytesPerToken();
+        const int64_t layers = cfg_.engine.numLayers > 0
+                                   ? cfg_.engine.numLayers
+                                   : cfg_.engine.model.numLayers;
+        // Per-token service proxy: the analytic prefill cost stands in
+        // for both phases — the router only needs relative load, not
+        // absolute latency.
+        const double fpt = static_cast<double>(
+            prefillFlopsPerToken(cfg_.engine.model, layers));
+        const double bw =
+            static_cast<double>(cfg_.engine.totalComputeBw);
+
+        std::vector<ShadowReplica> shadows;
+        shadows.reserve(R);
+        for (size_t r = 0; r < R; ++r)
+            shadows.emplace_back(bc);
+
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            const Request& q = reqs[i];
+            size_t pick = 0;
+            int64_t best = std::numeric_limits<int64_t>::max();
+            for (size_t r = 0; r < R; ++r) {
+                shadows[r].drainUntil(q.arrival);
+                int64_t tokens = shadows[r].queuedPromptTokens();
+                if (tokens < best) { // ties break to the lowest index
+                    best = tokens;
+                    pick = r;
+                }
+            }
+            ShadowReplica& s = shadows[pick];
+            s.owned.push_back(q);
+            Request* copy = &s.owned.back();
+            copy->state = ReqState::Queued;
+            copy->prefilledTokens = 0;
+            copy->prefillFlopsDone = 0.0;
+            copy->generated = 0;
+            copy->firstTokenAt = 0;
+            copy->finishedAt = 0;
+            s.batcher.enqueue(copy);
+            auto service = static_cast<dam::Cycle>(std::ceil(
+                static_cast<double>(q.promptLen + q.outputLen) * fpt /
+                bw));
+            service = std::max<dam::Cycle>(1, service);
+            s.busyUntil = std::max(q.arrival, s.busyUntil) + service;
+            s.inflight.push_back({copy, s.busyUntil});
+            out[i] = static_cast<int64_t>(pick);
+        }
+        return out;
+      }
+    }
+    return out;
+}
+
+ClusterResult
+ServingCluster::run(std::vector<Request>& reqs)
+{
+    STEP_ASSERT(std::is_sorted(reqs.begin(), reqs.end(),
+                               [](const Request& a, const Request& b) {
+                                   return a.arrival < b.arrival;
+                               }),
+                "request trace must be sorted by arrival");
+
+    const auto R = static_cast<size_t>(cfg_.replicas);
+    const std::vector<int64_t> assignment = routeTrace(reqs);
+
+    // Shard the trace. Each shard keeps trace order, so it stays sorted
+    // by arrival; origin[] maps shard slots back to the caller's vector.
+    std::vector<std::vector<Request>> shard(R);
+    std::vector<std::vector<size_t>> origin(R);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        auto r = static_cast<size_t>(assignment[i]);
+        shard[r].push_back(reqs[i]);
+        origin[r].push_back(i);
+    }
+
+    // Per-replica seeds are derived on the coordinating thread before
+    // any worker exists — the one ordering the global-seed contract
+    // requires (see rng.hh).
+    std::vector<uint64_t> seeds(R);
+    for (size_t r = 0; r < R; ++r)
+        seeds[r] = deriveSeed(static_cast<uint64_t>(r));
+
+    int64_t threads = cfg_.threads > 0 ? cfg_.threads : cfg_.replicas;
+    threads = std::min(threads, cfg_.replicas);
+    const auto T = static_cast<size_t>(threads);
+
+    std::vector<ReplicaResult> results(R);
+    std::vector<std::exception_ptr> errors(T);
+
+    auto run_replica = [&](size_t r) {
+        EngineConfig ec = cfg_.engine;
+        ec.seed = seeds[r];
+        ServingEngine engine(ec, policy_);
+        ReplicaResult& out = results[r];
+        out.replica = static_cast<int64_t>(r);
+        out.seed = seeds[r];
+        out.assignedRequests = static_cast<int64_t>(shard[r].size());
+        out.result = engine.run(shard[r]);
+    };
+    // Replica r runs on worker r mod T; each worker walks its replicas
+    // in increasing index. Which thread hosts a replica never changes
+    // what the replica computes (shared-nothing), only where.
+    auto worker = [&](size_t t) {
+        try {
+            for (size_t r = t; r < R; r += T)
+                run_replica(r);
+        } catch (...) {
+            errors[t] = std::current_exception();
+        }
+    };
+
+    if (T == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(T);
+        for (size_t t = 0; t < T; ++t)
+            pool.emplace_back(worker, t);
+        for (std::thread& th : pool)
+            th.join();
+    }
+    for (std::exception_ptr& e : errors)
+        if (e)
+            std::rethrow_exception(e);
+
+    // Reflect per-replica request state back into the caller's trace,
+    // preserving the single-engine run() contract.
+    for (size_t r = 0; r < R; ++r)
+        for (size_t k = 0; k < shard[r].size(); ++k)
+            reqs[origin[r][k]] = shard[r][k];
+
+    // Merge in replica-index order: the aggregate depends only on the
+    // per-replica results, never on worker scheduling.
+    ClusterResult out;
+    out.replicas = std::move(results);
+    std::vector<ServingSummary> parts;
+    parts.reserve(R);
+    for (const ReplicaResult& rr : out.replicas) {
+        parts.push_back(rr.result.summary);
+        out.timeline.merge(rr.result.timeline);
+        out.totalIterations += rr.result.iterations;
+    }
+    out.aggregate = mergeSummaries(parts);
+    out.aggregate.computeUtilization = out.timeline.computeUtilization(
+        cfg_.engine.totalComputeBw * cfg_.replicas);
+    return out;
+}
+
+} // namespace step::runtime

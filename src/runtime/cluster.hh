@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Multi-replica sharded serving cluster: the scale-out layer over the
+ * single-engine serving runtime. One ServingEngine is single-threaded by
+ * design (deterministic virtual time); a ServingCluster splits a request
+ * trace across N shared-nothing replica engines — each with its own
+ * Scheduler, GraphArena, rearm handles, and thread-local coroutine-frame
+ * pool — runs each replica's simulation in a worker thread, and merges
+ * the per-replica results into one aggregate with percentiles recomputed
+ * over the union of raw latency samples. This mirrors how continuous-
+ * batching serving systems scale out: replicas behind a router, sharing
+ * nothing but the request stream.
+ *
+ * Determinism contract: routing is a pre-pass on the coordinating
+ * thread, per-replica seeds are derived before workers spawn
+ * (deriveSeed(replica_id)), every replica simulates independently, and
+ * merging walks replicas in index order — so the aggregate is
+ * bit-identical whether the replicas run on 1 worker thread or N.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hh"
+
+namespace step::runtime {
+
+/** How the cluster assigns arriving requests to replicas. */
+enum class RouteKind {
+    /** Request i goes to replica i mod N: fair counts, blind to work. */
+    RoundRobin,
+    /**
+     * Join-least-work: pick the replica whose shadow queue holds the
+     * fewest outstanding prompt tokens (waiting, via
+     * ContinuousBatcher::waitingPromptTokens, plus admitted-but-
+     * unfinished). The router drains its shadow queues with an analytic
+     * service-time model, so decisions need no feedback from the
+     * replica simulations and stay a deterministic pre-pass.
+     */
+    LeastQueued,
+    /**
+     * Hash of the request id picks the replica: sticky session/prefix
+     * affinity, at the cost of load blindness.
+     */
+    HashAffinity,
+};
+
+std::string routeKindName(RouteKind k);
+
+struct ClusterConfig
+{
+    /**
+     * Per-replica engine template. The seed field is ignored: replica i
+     * always runs with deriveSeed(i) so replica streams decorrelate
+     * deterministically under one global seed.
+     */
+    EngineConfig engine;
+    int64_t replicas = 2;
+    /** Worker threads; 0 means one per replica. */
+    int64_t threads = 0;
+    RouteKind routing = RouteKind::RoundRobin;
+};
+
+struct ReplicaResult
+{
+    int64_t replica = 0;
+    uint64_t seed = 0; ///< deriveSeed(replica), recorded for replay
+    int64_t assignedRequests = 0;
+    EngineResult result;
+};
+
+struct ClusterResult
+{
+    /** Raw-sample merge of the per-replica summaries (mergeSummaries);
+     *  computeUtilization is against replicas * totalComputeBw. */
+    ServingSummary aggregate;
+    /** Union of the per-replica iteration samples. */
+    UtilizationTimeline timeline;
+    std::vector<ReplicaResult> replicas;
+    int64_t totalIterations = 0;
+};
+
+class ServingCluster
+{
+  public:
+    ServingCluster(ClusterConfig cfg, const Policy& policy);
+
+    /**
+     * Route @p reqs (sorted by arrival) across the replicas, run every
+     * replica's simulation to completion on the worker pool, and merge.
+     * Requests are mutated in place exactly as ServingEngine::run would
+     * (states, TTFT/finish stamps). Deterministic for fixed (config,
+     * policy, trace, global seed), independent of the thread count.
+     */
+    ClusterResult run(std::vector<Request>& reqs);
+
+    /**
+     * The deterministic routing pre-pass alone: replica index per
+     * request, in trace order. Exposed for tests and routing studies.
+     */
+    std::vector<int64_t> routeTrace(const std::vector<Request>& reqs) const;
+
+  private:
+    ClusterConfig cfg_;
+    const Policy& policy_;
+};
+
+} // namespace step::runtime

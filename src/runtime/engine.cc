@@ -31,16 +31,21 @@ ServingEngine::ServingEngine(EngineConfig cfg, const Policy& policy)
 }
 
 int64_t
-ServingEngine::prefillFlopsPerToken() const
+prefillFlopsPerToken(const ModelConfig& m, int64_t num_layers)
 {
-    const ModelConfig& m = cfg_.model;
     int64_t d = m.numKvHeads * m.headDim;
     int64_t qkv_cols = m.numQHeads * m.headDim + 2 * d;
     int64_t per_layer = 2 * m.hidden * qkv_cols          // QKV proj
                         + 2 * d * m.hidden               // output proj
                         + m.topK * 3 * 2 * m.hidden *
                               m.moeIntermediate;         // SwiGLU expert
-    return per_layer * cfg_.numLayers;
+    return per_layer * num_layers;
+}
+
+int64_t
+ServingEngine::prefillFlopsPerToken() const
+{
+    return runtime::prefillFlopsPerToken(cfg_.model, cfg_.numLayers);
 }
 
 EngineResult

@@ -65,6 +65,15 @@ struct EngineResult
     int64_t iterations = 0;
 };
 
+/**
+ * Analytic prefill cost of one prompt token across @p num_layers layers
+ * (QKV + output projections and the top-K expert FFN; prompt attention
+ * is projection-dominated and left out of the model). Shared by the
+ * engine's prefill accounting and the cluster router's service-time
+ * estimates.
+ */
+int64_t prefillFlopsPerToken(const ModelConfig& m, int64_t num_layers);
+
 class ServingEngine
 {
   public:

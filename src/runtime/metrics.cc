@@ -1,5 +1,6 @@
 #include "runtime/metrics.hh"
 
+#include <algorithm>
 #include <iostream>
 
 #include "support/error.hh"
@@ -25,42 +26,76 @@ tpot(const Request& r)
            static_cast<double>(r.outputLen - 1);
 }
 
+namespace {
+
+/** Fill everything derivable from the raw fields — percentiles and
+ *  means from the sample vectors (each sorted once), rates from the
+ *  token totals over the makespan. Shared tail of summarize and
+ *  mergeSummaries. */
+void
+finalizeDerivedStats(ServingSummary& s)
+{
+    std::vector<double> ttft = s.ttftSamples;
+    std::sort(ttft.begin(), ttft.end());
+    std::vector<double> tpot = s.tpotSamples;
+    std::sort(tpot.begin(), tpot.end());
+    s.ttftP50 = percentileSorted(ttft, 50.0);
+    s.ttftP99 = percentileSorted(ttft, 99.0);
+    s.ttftMean = mean(ttft);
+    s.tpotP50 = percentileSorted(tpot, 50.0);
+    s.tpotP99 = percentileSorted(tpot, 99.0);
+    s.tpotMean = mean(tpot);
+    if (s.makespan > 0) {
+        double kcycles = static_cast<double>(s.makespan) / 1000.0;
+        s.throughputTokensPerKcycle =
+            static_cast<double>(s.generatedTokens) / kcycles;
+        s.goodputTokensPerKcycle =
+            static_cast<double>(s.sloGoodTokens) / kcycles;
+    }
+}
+
+} // namespace
+
 ServingSummary
 summarize(const std::vector<Request>& reqs, dam::Cycle makespan,
           const SloConfig& slo)
 {
     ServingSummary s;
     s.makespan = makespan;
-    std::vector<double> ttfts;
-    std::vector<double> tpots;
-    int64_t good_tokens = 0;
     for (const Request& r : reqs) {
         if (!r.done())
             continue;
         ++s.completed;
         s.generatedTokens += r.generated;
-        ttfts.push_back(ttft(r));
+        s.ttftSamples.push_back(ttft(r));
         if (r.outputLen > 1)
-            tpots.push_back(tpot(r));
+            s.tpotSamples.push_back(tpot(r));
         if (slo.meets(r)) {
             ++s.sloCompliant;
-            good_tokens += r.generated;
+            s.sloGoodTokens += r.generated;
         }
     }
-    s.ttftP50 = percentile(ttfts, 50.0);
-    s.ttftP99 = percentile(ttfts, 99.0);
-    s.ttftMean = mean(ttfts);
-    s.tpotP50 = percentile(tpots, 50.0);
-    s.tpotP99 = percentile(tpots, 99.0);
-    s.tpotMean = mean(tpots);
-    if (makespan > 0) {
-        double kcycles = static_cast<double>(makespan) / 1000.0;
-        s.throughputTokensPerKcycle =
-            static_cast<double>(s.generatedTokens) / kcycles;
-        s.goodputTokensPerKcycle =
-            static_cast<double>(good_tokens) / kcycles;
-    }
+    finalizeDerivedStats(s);
     return s;
+}
+
+ServingSummary
+mergeSummaries(const std::vector<ServingSummary>& parts)
+{
+    ServingSummary m;
+    for (const ServingSummary& p : parts) {
+        m.completed += p.completed;
+        m.generatedTokens += p.generatedTokens;
+        m.sloCompliant += p.sloCompliant;
+        m.sloGoodTokens += p.sloGoodTokens;
+        m.makespan = std::max(m.makespan, p.makespan);
+        m.ttftSamples.insert(m.ttftSamples.end(), p.ttftSamples.begin(),
+                             p.ttftSamples.end());
+        m.tpotSamples.insert(m.tpotSamples.end(), p.tpotSamples.begin(),
+                             p.tpotSamples.end());
+    }
+    finalizeDerivedStats(m);
+    return m;
 }
 
 void

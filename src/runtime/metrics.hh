@@ -44,6 +44,7 @@ struct ServingSummary
     double tpotP50 = 0, tpotP99 = 0, tpotMean = 0;
 
     int64_t sloCompliant = 0; ///< completed requests meeting the SLO
+    int64_t sloGoodTokens = 0; ///< tokens from SLO-compliant requests
     /** Generated tokens per kilocycle, all completed requests. */
     double throughputTokensPerKcycle = 0;
     /** Generated tokens per kilocycle from SLO-compliant requests only. */
@@ -51,6 +52,14 @@ struct ServingSummary
 
     /** Useful FLOPs / (provisioned bandwidth * makespan); engine-filled. */
     double computeUtilization = 0;
+
+    /**
+     * Raw per-request latency samples (request order), retained so a
+     * cluster can recompute aggregate percentiles over the union of its
+     * replicas' samples — a p99 of per-replica p99s is not a p99.
+     */
+    std::vector<double> ttftSamples;
+    std::vector<double> tpotSamples;
 };
 
 /**
@@ -59,6 +68,19 @@ struct ServingSummary
  */
 ServingSummary summarize(const std::vector<Request>& reqs,
                          dam::Cycle makespan, const SloConfig& slo);
+
+/**
+ * Merge per-replica summaries into one cluster-level summary. Counts and
+ * token totals add; the makespan is the maximum (replicas run
+ * concurrently from cycle 0, so the cluster finishes when its slowest
+ * replica does) and rates are recomputed against it; percentiles and
+ * means are recomputed from the concatenated raw sample vectors, never
+ * from the per-replica statistics. computeUtilization is left 0 — it
+ * needs the cluster's provisioned bandwidth, which the caller applies
+ * from the merged utilization timeline. Deterministic in the order of
+ * @p parts.
+ */
+ServingSummary mergeSummaries(const std::vector<ServingSummary>& parts);
 
 void printSummary(const ServingSummary& s, std::ostream& os);
 

@@ -35,12 +35,32 @@ struct PoolState
     Header* freelist[kBuckets] = {};
     uint64_t cached[kBuckets] = {};
     FramePool::Stats stats;
+
+    ~PoolState()
+    {
+        // Worker threads (ServingCluster replicas) die with frames still
+        // parked; return them to the heap so thread churn never leaks.
+        for (int b = 0; b < kBuckets; ++b) {
+            while (Header* h = freelist[b]) {
+                freelist[b] = h->next;
+                ::operator delete(h);
+            }
+            cached[b] = 0;
+        }
+    }
 };
 
 PoolState&
 state()
 {
-    static PoolState s;
+    // One freelist per thread: each scheduler thread allocates and frees
+    // its own coroutine frames (shared-nothing replicas), so per-thread
+    // freelists need no locks and keep blocks warm in the owning core's
+    // cache. A frame freed from a different thread than the one that
+    // allocated it simply parks in the freeing thread's freelist — the
+    // block came from the global heap, so migrating it is safe, merely
+    // suboptimal.
+    static thread_local PoolState s;
     return s;
 }
 

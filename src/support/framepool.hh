@@ -9,10 +9,15 @@
  * the steady state never touches the heap and frames of the same
  * operator land on the same warm block, improving locality.
  *
- * Single-threaded by design, like the simulator it serves. Freed blocks
- * are cached until trim(); a 16-byte header records the owning bucket so
- * deallocation does not depend on the (unsized) delete form the
- * compiler picks for frame teardown.
+ * The pool is per-thread: every freelist lives in thread-local state, so
+ * N shared-nothing scheduler threads (ServingCluster replicas) each get
+ * their own pool with no locks and no false sharing. Frames are normally
+ * allocated and freed on the same thread; a cross-thread free is safe
+ * (the block migrates to the freeing thread's freelist) but forfeits
+ * locality. Freed blocks are cached until trim() or thread exit, which
+ * releases the departing thread's cache back to the heap; a 16-byte
+ * header records the owning bucket so deallocation does not depend on
+ * the (unsized) delete form the compiler picks for frame teardown.
  */
 #pragma once
 
@@ -38,9 +43,10 @@ class FramePool
         uint64_t cached = 0;   ///< blocks currently parked in freelists
     };
 
+    /** Counters for the *calling thread's* pool only. */
     static Stats stats();
 
-    /** Release every cached block back to the heap. */
+    /** Release the calling thread's cached blocks back to the heap. */
     static void trim();
 };
 

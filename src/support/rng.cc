@@ -1,5 +1,6 @@
 #include "support/rng.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -10,27 +11,32 @@ namespace step {
 
 namespace {
 
-uint64_t g_seed = 42;
+// Atomic so a worker thread calling deriveSeed/globalSeed never races a
+// late setGlobalSeed into a torn read. Relaxed ordering suffices: the
+// seed carries no release/acquire payload, and the documented contract
+// (rng.hh) is that setGlobalSeed happens before workers spawn — thread
+// creation itself then sequences the store before every worker load.
+std::atomic<uint64_t> g_seed{42};
 
 } // namespace
 
 void
 setGlobalSeed(uint64_t seed)
 {
-    g_seed = seed;
+    g_seed.store(seed, std::memory_order_relaxed);
 }
 
 uint64_t
 globalSeed()
 {
-    return g_seed;
+    return g_seed.load(std::memory_order_relaxed);
 }
 
 uint64_t
 deriveSeed(uint64_t stream_id)
 {
     // One SplitMix64 step over (seed, stream) decorrelates nearby ids.
-    Rng mix(g_seed ^ (stream_id * 0xd1342543de82ef95ULL));
+    Rng mix(globalSeed() ^ (stream_id * 0xd1342543de82ef95ULL));
     return mix.next();
 }
 
@@ -43,7 +49,26 @@ seedFromArgsOrEnv(int argc, char** argv)
         if (std::strcmp(argv[i], "--seed") == 0)
             setGlobalSeed(std::strtoull(argv[i + 1], nullptr, 0));
     }
-    return g_seed;
+    return globalSeed();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    STEP_ASSERT(n > 0, "uniformInt over an empty range");
+    // Rejection sampling (arc4random_uniform style): 2^64 mod n raw
+    // draws map to one extra residue each under plain `next() % n`,
+    // biasing small values by up to n/2^64. Computing min = 2^64 mod n
+    // as (-n) mod n in wrapping arithmetic, draws below min are
+    // rejected so every residue keeps exactly floor(2^64 / n)
+    // preimages. Accepted draws return the same value the old modulo
+    // did, so seeded sequences only change in the astronomically rare
+    // rejection case (probability < n / 2^64 per draw).
+    const uint64_t min = (0 - n) % n;
+    uint64_t x = next();
+    while (x < min)
+        x = next();
+    return x % n;
 }
 
 double

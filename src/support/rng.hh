@@ -38,8 +38,12 @@ class Rng
     /** Uniform double in [0, 1). */
     double uniform() { return (next() >> 11) * 0x1.0p-53; }
 
-    /** Uniform integer in [0, n). n must be > 0. */
-    uint64_t uniformInt(uint64_t n) { return next() % n; }
+    /**
+     * Uniform integer in [0, n), bias-free via rejection sampling (the
+     * naive `next() % n` overweights small residues when n does not
+     * divide 2^64). n must be > 0.
+     */
+    uint64_t uniformInt(uint64_t n);
 
     /** Uniform integer in [lo, hi] inclusive. */
     int64_t
@@ -79,13 +83,22 @@ class Rng
  * `--seed N` flag (or the STEP_SEED environment variable) reseeds a whole
  * sweep while run-to-run results stay bit-identical for a fixed seed.
  * Defaults to 42.
+ *
+ * Thread-safety contract: the seed is stored atomically, so concurrent
+ * reads never tear — but for reproducibility, call setGlobalSeed once at
+ * startup, *before* any worker thread (e.g. ServingCluster replicas)
+ * spawns. A mid-run reseed is a race against every in-flight
+ * deriveSeed and yields runs that no single seed reproduces.
  */
 void setGlobalSeed(uint64_t seed);
 uint64_t globalSeed();
 
 /**
  * Derive an independent stream seed for component @p stream_id from the
- * global seed (SplitMix64 mix, so nearby ids decorrelate).
+ * global seed (SplitMix64 mix, so nearby ids decorrelate). This is how
+ * per-replica engine seeds decorrelate deterministically: ServingCluster
+ * seeds replica i with deriveSeed(i) on the coordinating thread before
+ * workers start.
  */
 uint64_t deriveSeed(uint64_t stream_id);
 

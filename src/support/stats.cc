@@ -27,7 +27,10 @@ stddev(const std::vector<double>& xs)
     double s = 0.0;
     for (double x : xs)
         s += (x - m) * (x - m);
-    return std::sqrt(s / static_cast<double>(xs.size()));
+    // Bessel-corrected sample estimator: these are always samples (of a
+    // trace window, of bench repetitions), never a whole population, and
+    // dividing by n underestimates spread at the small n the benches use.
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
 }
 
 double
@@ -66,17 +69,23 @@ pearson(const std::vector<double>& xs, const std::vector<double>& ys)
 }
 
 double
-percentile(std::vector<double> xs, double p)
+percentileSorted(const std::vector<double>& xs, double p)
 {
     if (xs.empty())
         return 0.0;
     STEP_ASSERT(p >= 0.0 && p <= 100.0, "percentile rank out of range");
-    std::sort(xs.begin(), xs.end());
     if (p <= 0.0)
         return xs.front();
     auto rank = static_cast<size_t>(
         std::ceil(p / 100.0 * static_cast<double>(xs.size())));
     return xs[std::min(rank, xs.size()) - 1];
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    std::sort(xs.begin(), xs.end());
+    return percentileSorted(xs, p);
 }
 
 } // namespace step

@@ -12,6 +12,7 @@
 namespace step {
 
 double mean(const std::vector<double>& xs);
+/** Sample standard deviation (Bessel's n-1 correction); 0 for n < 2. */
 double stddev(const std::vector<double>& xs);
 double geomean(const std::vector<double>& xs);
 
@@ -24,5 +25,11 @@ double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
  * the serving-latency reporting (p50/p99 TTFT and TPOT).
  */
 double percentile(std::vector<double> xs, double p);
+
+/**
+ * Same, over an already-sorted sample vector — for callers reading
+ * several ranks from one (large) vector without re-sorting per rank.
+ */
+double percentileSorted(const std::vector<double>& xs, double p);
 
 } // namespace step

@@ -7,14 +7,22 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <cstring>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/value.hh"
 #include "support/arena.hh"
 #include "support/error.hh"
+#include "support/framepool.hh"
 #include "support/ring.hh"
+#include "support/rng.hh"
 #include "support/smallvec.hh"
+#include "support/stats.hh"
 
 namespace step {
 namespace {
@@ -207,6 +215,114 @@ TEST(Interner, StableAcrossRepeats)
     std::string_view c = names.intern("other");
     EXPECT_NE(a.data(), c.data());
     EXPECT_EQ(names.size(), 2u);
+}
+
+// ---- FramePool (thread-local freelists) -------------------------------
+
+TEST(FramePool, RecyclesSameSizedBlocksOnOneThread)
+{
+    FramePool::trim();
+    FramePool::Stats before = FramePool::stats();
+    void* p = FramePool::allocate(512);
+    FramePool::deallocate(p);
+    void* q = FramePool::allocate(512);
+    EXPECT_EQ(p, q); // same bucket, warm block
+    FramePool::deallocate(q);
+    FramePool::Stats after = FramePool::stats();
+    EXPECT_EQ(after.hits, before.hits + 1);
+    EXPECT_EQ(after.misses, before.misses + 1);
+    EXPECT_EQ(after.cached, 1u);
+    FramePool::trim();
+    EXPECT_EQ(FramePool::stats().cached, 0u);
+}
+
+TEST(FramePool, ConcurrentAllocFreeAcrossThreadsIsRaceFree)
+{
+    // The regression this guards: PoolState used to be one process-wide
+    // freelist, so concurrent scheduler threads corrupted the links.
+    // With thread-local pools, N threads hammering allocate/free must
+    // (a) run race-free (ThreadSanitizer job) and (b) keep *per-thread*
+    // stats that reconcile exactly, since no other thread can touch
+    // this thread's freelists.
+    constexpr int kThreads = 4;
+    constexpr uint64_t kAllocs = 20000;
+    std::vector<std::thread> workers;
+    std::array<bool, kThreads> ok{};
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&ok, t] {
+            FramePool::trim();
+            FramePool::Stats before = FramePool::stats();
+            Rng rng(100 + static_cast<uint64_t>(t));
+            std::vector<std::pair<void*, size_t>> live;
+            for (uint64_t i = 0; i < kAllocs; ++i) {
+                size_t sz = 32 + rng.uniformInt(4000) * 16;
+                void* p = FramePool::allocate(sz);
+                std::memset(p, t, std::min<size_t>(sz, 64));
+                live.emplace_back(p, sz);
+                if (live.size() > 32) {
+                    FramePool::deallocate(live.front().first);
+                    live.erase(live.begin());
+                }
+            }
+            for (auto& [p, sz] : live)
+                FramePool::deallocate(p);
+            FramePool::Stats after = FramePool::stats();
+            bool good =
+                after.hits + after.misses + after.bypasses ==
+                before.hits + before.misses + before.bypasses + kAllocs;
+            FramePool::trim();
+            good = good && FramePool::stats().cached == 0;
+            // Steady-state churn must recycle: most allocations should
+            // be freelist hits once the working set warms up.
+            good = good && after.hits > kAllocs / 2;
+            ok[static_cast<size_t>(t)] = good;
+        });
+    }
+    for (std::thread& w : workers)
+        w.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_TRUE(ok[static_cast<size_t>(t)]) << "thread " << t;
+}
+
+// ---- stats ------------------------------------------------------------
+
+TEST(Stats, SampleStddevMatchesHandComputedValue)
+{
+    // {2,4,4,4,5,5,7,9}: mean 5, sum of squared deviations 32. The
+    // sample estimator divides by n-1 = 7 (the population /n form this
+    // replaced would give sqrt(32/8) = 2).
+    std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(32.0 / 7.0));
+    EXPECT_NE(stddev(xs), 2.0);
+
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0); // n-1 would divide by zero
+    EXPECT_DOUBLE_EQ(stddev({5.0, 9.0}), std::sqrt(8.0));
+}
+
+// ---- rng --------------------------------------------------------------
+
+TEST(Rng, UniformIntStaysInRangeAndHitsEveryResidue)
+{
+    Rng rng(7);
+    for (uint64_t n : {2ULL, 3ULL, 7ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 4000; ++i)
+            ASSERT_LT(rng.uniformInt(n), n);
+    }
+    // Every residue of a small range is reachable (a bias that *dropped*
+    // residues would be far worse than the one being fixed).
+    std::vector<bool> seen(10);
+    for (int i = 0; i < 4000; ++i)
+        seen[static_cast<size_t>(rng.uniformInt(10))] = true;
+    for (size_t r = 0; r < seen.size(); ++r)
+        EXPECT_TRUE(seen[r]) << "residue " << r;
+
+    // Degenerate range and determinism under a fixed seed.
+    Rng one(13);
+    EXPECT_EQ(one.uniformInt(1), 0u);
+    Rng a(13), b(13);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(97), b.uniformInt(97));
 }
 
 } // namespace
