@@ -16,8 +16,15 @@
  * throughput (requests simulated per second of real time) for comparing
  * replica counts.
  *
+ * With --json[=path] the sweep also writes a schema-v2 bench artifact
+ * (BENCH_serving_load.json): simulation throughput in requests/sec (a
+ * rate metric, so bench/check_bench_regression.py gates it in CI
+ * against bench/baseline_serving_load.json alongside the hot-path
+ * bench) plus the goodput of both policies at the highest load point.
+ *
  *   ./bench_serving_load [--seed N] [--requests N] [--replicas N]
- *                        [--threads N] [--routing rr|lq|hash]
+ *                        [--threads N] [--routing rr|lq|hash|prefix]
+ *                        [--json[=path]]
  */
 #include <algorithm>
 #include <chrono>
@@ -25,6 +32,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_common.hh"
 #include "runtime/cluster.hh"
 #include "support/rng.hh"
 #include "support/table.hh"
@@ -49,11 +57,14 @@ main(int argc, char** argv)
             threads = std::strtoll(argv[i + 1], nullptr, 0);
         if (std::strcmp(argv[i], "--routing") == 0) {
             std::string r = argv[i + 1];
-            routing = r == "rr"     ? RouteKind::RoundRobin
-                      : r == "hash" ? RouteKind::HashAffinity
-                                    : RouteKind::LeastQueued;
+            routing = r == "rr"       ? RouteKind::RoundRobin
+                      : r == "hash"   ? RouteKind::HashAffinity
+                      : r == "prefix" ? RouteKind::PrefixAffinity
+                                      : RouteKind::LeastQueued;
         }
     }
+    const std::string json_path =
+        bench::jsonFlagPath(argc, argv, "BENCH_serving_load.json");
     if (replicas < 1)
         replicas = 1;
     // Mirror the cluster's own clamp so the printed configuration is the
@@ -74,6 +85,7 @@ main(int argc, char** argv)
              "SLO ok", "util %"});
     const auto t0 = std::chrono::steady_clock::now();
     int64_t simulated = 0;
+    double goodput_static = 0.0, goodput_dynamic = 0.0; // highest rate
     for (double rate_per_mcycle : {0.6, 1.0, 1.4, 1.8}) {
         for (bool dynamic : {false, true}) {
             TraceConfig tc;
@@ -111,6 +123,8 @@ main(int argc, char** argv)
                 s = cluster.run(reqs).aggregate;
             }
             simulated += per_point;
+            (dynamic ? goodput_dynamic : goodput_static) =
+                s.goodputTokensPerKcycle;
             t.row()
                 .cellF(rate_per_mcycle, 1)
                 .cell(policy.name())
@@ -131,9 +145,30 @@ main(int argc, char** argv)
             .count();
     std::cout << "\n(TTFT columns in kcycles, TPOT in kcycles/token; "
                  "rate column is per replica)\n";
+    const double req_per_sec = static_cast<double>(simulated) / wall_s;
     std::cout << "sweep: " << simulated << " requests in " << wall_s
-              << " s wall -> " << static_cast<double>(simulated) / wall_s
+              << " s wall -> " << req_per_sec
               << " requests/s (replicas=" << replicas << ", threads="
               << threads << ")\n";
+
+    if (!json_path.empty()) {
+        bench::JsonReport report;
+        report.set("bench", "serving_load");
+        report.set("routing", routeKindName(routing));
+        report.set("replicas", static_cast<double>(replicas), "count");
+        report.set("requests_simulated", static_cast<double>(simulated),
+                   "count");
+        // The one gated rate metric ("/sec" unit): end-to-end cluster
+        // simulation throughput, the serving runtime's hot path.
+        report.set("sim_requests_per_sec", req_per_sec, "requests/sec");
+        report.set("goodput_static_hiload", goodput_static,
+                   "tokens/kcycle");
+        report.set("goodput_dynamic_hiload", goodput_dynamic,
+                   "tokens/kcycle");
+        if (!report.writeTo(json_path))
+            std::cerr << "failed to write " << json_path << "\n";
+        else
+            std::cout << "wrote " << json_path << "\n";
+    }
     return 0;
 }

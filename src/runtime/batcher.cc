@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/prefixcache.hh"
 #include "support/error.hh"
 
 namespace step::runtime {
@@ -32,11 +33,24 @@ ContinuousBatcher::admit()
     while (!waiting_.empty() &&
            static_cast<int64_t>(running_.size()) < cfg_.maxRunning) {
         Request* r = waiting_.front();
+        // Size the reservation against the uncached suffix: tokens the
+        // prefix cache already holds are pinned there, not re-reserved
+        // (see Request::kvReservationTokens).
+        if (cache_)
+            r->cachedPrefixTokens = cache_->matchTokens(*r);
         int64_t need = r->kvReservationTokens() * cfg_.kvBytesPerToken;
-        if (kvReserved_ + need > cfg_.kvBudgetBytes)
+        if (kvReserved_ + need > cfg_.kvBudgetBytes) {
+            // Not admitted: the match is re-done (and may differ) on the
+            // next attempt, so leave no stale state behind.
+            r->cachedPrefixTokens = 0;
             break;
+        }
         waiting_.pop_front();
         kvReserved_ += need;
+        if (cache_) {
+            cache_->acquire(*r); // pins the matched path until release
+            r->prefilledTokens = r->cachedPrefixTokens;
+        }
         r->state = ReqState::Prefilling;
         running_.push_back(r);
         admitted.push_back(r);

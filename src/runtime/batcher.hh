@@ -6,7 +6,10 @@
  * the batch-size cap. Admission reserves the request's worst-case KV
  * footprint (prompt + max output), so an admitted request never has to
  * be preempted — the simple deterministic discipline of iteration-level
- * continuous batching.
+ * continuous batching. With a prefix cache attached, the footprint is
+ * sized against the *uncached suffix* only: the cached prefix's KV is
+ * already resident and pinned in the cache, so reserving it again would
+ * double-count exactly the tokens prefix sharing saves.
  */
 #pragma once
 
@@ -28,10 +31,20 @@ struct BatcherConfig
     int64_t maxRunning = 64;
 };
 
+class PrefixCache;
+
 class ContinuousBatcher
 {
   public:
     explicit ContinuousBatcher(BatcherConfig cfg);
+
+    /**
+     * Attach the engine's prefix cache (may be null). Admission then
+     * looks up the longest cached prefix per request, reserves KV only
+     * for the uncached suffix, and pins the matched path until the
+     * request is released.
+     */
+    void attachPrefixCache(PrefixCache* cache) { cache_ = cache; }
 
     /** A request has arrived; it joins the admission queue. */
     void enqueue(Request* r);
@@ -40,7 +53,9 @@ class ContinuousBatcher
      * Admit waiting requests in FIFO order while the KV reservation and
      * batch cap allow; head-of-line blocking is deliberate (keeps
      * admission fair and deterministic). Admitted requests move to
-     * Prefilling; the newly admitted set is returned.
+     * Prefilling (with cachedPrefixTokens and the prefilledTokens
+     * baseline set from the prefix cache); the newly admitted set is
+     * returned.
      */
     std::vector<Request*> admit();
 
@@ -60,6 +75,7 @@ class ContinuousBatcher
 
   private:
     BatcherConfig cfg_;
+    PrefixCache* cache_ = nullptr;
     std::deque<Request*> waiting_;
     std::vector<Request*> running_;
     int64_t kvReserved_ = 0;

@@ -86,6 +86,8 @@ routeKindName(RouteKind k)
         return "least-queued";
       case RouteKind::HashAffinity:
         return "hash-affinity";
+      case RouteKind::PrefixAffinity:
+        return "prefix-affinity";
     }
     return "?";
 }
@@ -118,6 +120,39 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
             out[i] = static_cast<int64_t>(h.uniformInt(R));
         }
         return out;
+
+      case RouteKind::PrefixAffinity: {
+        // Sticky map: dominant-prefix hash -> replica. First sight of a
+        // key picks the least-loaded replica by assigned worst-case
+        // tokens (a router-side proxy — it deliberately overcharges
+        // sticky replicas, since their cache hits make later turns
+        // cheaper than the estimate, which biases new sessions away
+        // from hot replicas). Pure pre-pass: deterministic, no feedback
+        // from the replica simulations.
+        std::unordered_map<uint64_t, size_t> owner;
+        std::vector<int64_t> load(R, 0);
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            const uint64_t key = reqs[i].affinityKey;
+            size_t pick;
+            auto it = key != 0 ? owner.find(key) : owner.end();
+            if (it != owner.end()) {
+                pick = it->second;
+            } else {
+                // First sight of a session — or a keyless legacy
+                // request, for which every arrival takes this branch: a
+                // work-balanced spread with no stickiness to preserve.
+                pick = 0;
+                for (size_t r = 1; r < R; ++r)
+                    if (load[r] < load[pick])
+                        pick = r;
+                if (key != 0)
+                    owner.emplace(key, pick);
+            }
+            load[pick] += reqs[i].promptLen + reqs[i].outputLen;
+            out[i] = static_cast<int64_t>(pick);
+        }
+        return out;
+      }
 
       case RouteKind::LeastQueued: {
         BatcherConfig bc = cfg_.engine.batcher;
@@ -160,6 +195,11 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
             copy->generated = 0;
             copy->firstTokenAt = 0;
             copy->finishedAt = 0;
+            // The shadow batcher has no prefix cache; reserve worst case
+            // and drop the (unconsulted) block hashes the copy dragged
+            // in — multi-turn requests carry dozens of them.
+            copy->cachedPrefixTokens = 0;
+            copy->blockHashes = {};
             s.batcher.enqueue(copy);
             auto service = static_cast<dam::Cycle>(std::ceil(
                 static_cast<double>(q.promptLen + q.outputLen) * fpt /

@@ -45,6 +45,19 @@ enum class RouteKind {
      * affinity, at the cost of load blindness.
      */
     HashAffinity,
+    /**
+     * KV-prefix-aware affinity: requests route by their dominant-prefix
+     * hash (Request::affinityKey — the session's first-turn prompt
+     * hash), so every turn of a session lands on the replica whose
+     * prefix cache already holds its context. The first request of a
+     * key falls back to the least-loaded replica (fewest assigned
+     * prompt+output tokens, ties to the lowest index), which spreads
+     * sessions without breaking stickiness. Legacy requests carry no
+     * affinity key, so each takes the least-loaded fallback
+     * individually — a work-balanced spread with no stickiness to
+     * preserve.
+     */
+    PrefixAffinity,
 };
 
 std::string routeKindName(RouteKind k);

@@ -58,9 +58,31 @@ ServingEngine::run(std::vector<Request>& reqs)
                 "request trace must be sorted by arrival");
 
     ContinuousBatcher batcher(cfg_.batcher);
+    // Fresh cold cache per run: replays of one engine stay bit-identical.
+    std::unique_ptr<PrefixCache> cache;
+    if (cfg_.prefixCache.capacityTokens > 0) {
+        cache = std::make_unique<PrefixCache>(cfg_.prefixCache);
+        batcher.attachPrefixCache(cache.get());
+    }
     EngineResult res;
     Rng iter_rng(cfg_.seed);
     const double fpt = static_cast<double>(prefillFlopsPerToken());
+
+    // Request completion: cache the full prompt+output stream (the next
+    // turn of the session prefixes it), drop the admission pin, free the
+    // KV reservation.
+    int64_t finished = 0;
+    auto finish = [&](Request* r, dam::Cycle at) {
+        r->state = ReqState::Finished;
+        r->finishedAt = at;
+        if (cache) {
+            cache->insert(r->blockHashes,
+                          static_cast<int64_t>(r->blockHashes.size()));
+            cache->release(*r);
+        }
+        batcher.release(r);
+        ++finished;
+    };
 
     // Iteration-graph parameters shared across iterations; the per-
     // iteration pieces are the batch's KV lengths, the expert trace, and
@@ -83,7 +105,6 @@ ServingEngine::run(std::vector<Request>& reqs)
 
     dam::Cycle now = 0;
     size_t next_arrival = 0;
-    int64_t finished = 0;
     const auto total = static_cast<int64_t>(reqs.size());
 
     while (finished < total) {
@@ -152,9 +173,15 @@ ServingEngine::run(std::vector<Request>& reqs)
             // prompt completes, but wake up for the next arrival.
             STEP_ASSERT(split.prefillBw > 0,
                         "policy starves prefill with no decode work");
+            // Only the uncached suffix costs prefill flops; the cached
+            // prefix's KV is already resident (>= 1 suffix token always
+            // remains, see Request::cachedPrefixTokens).
+            const Request* head = prefills.front();
             double remaining =
-                static_cast<double>(prefills.front()->promptLen) * fpt -
-                prefills.front()->prefillFlopsDone;
+                static_cast<double>(head->promptLen -
+                                    head->cachedPrefixTokens) *
+                    fpt -
+                head->prefillFlopsDone;
             iter_cycles = static_cast<dam::Cycle>(std::ceil(
                 remaining / static_cast<double>(split.prefillBw)));
             iter_cycles = std::max<dam::Cycle>(1, iter_cycles);
@@ -173,8 +200,11 @@ ServingEngine::run(std::vector<Request>& reqs)
         for (Request* r : prefills) {
             if (budget <= 0.0)
                 break;
-            double need = static_cast<double>(r->promptLen) * fpt -
-                          r->prefillFlopsDone;
+            double need =
+                static_cast<double>(r->promptLen -
+                                    r->cachedPrefixTokens) *
+                    fpt -
+                r->prefillFlopsDone;
             double use = std::min(need, budget);
             budget -= use;
             consumed += use;
@@ -182,7 +212,8 @@ ServingEngine::run(std::vector<Request>& reqs)
             int64_t tok_before = r->prefilledTokens;
             r->prefilledTokens = std::min(
                 r->promptLen,
-                static_cast<int64_t>(r->prefillFlopsDone / fpt));
+                r->cachedPrefixTokens +
+                    static_cast<int64_t>(r->prefillFlopsDone / fpt));
             prefilled_tokens += r->prefilledTokens - tok_before;
             if (use >= need) {
                 // Prompt done: the first output token is emitted at the
@@ -193,24 +224,20 @@ ServingEngine::run(std::vector<Request>& reqs)
                     now + std::min(offset, iter_cycles);
                 r->generated = 1;
                 r->state = ReqState::Decoding;
-                if (r->generated >= r->outputLen) {
-                    r->state = ReqState::Finished;
-                    r->finishedAt = r->firstTokenAt;
-                    batcher.release(r);
-                    ++finished;
-                }
+                // The completed prompt prefix becomes cacheable for the
+                // session's (or any prefix-sharing) next request.
+                if (cache)
+                    cache->insert(r->blockHashes, r->promptBlocks);
+                if (r->generated >= r->outputLen)
+                    finish(r, r->firstTokenAt);
             }
         }
 
         // ---- decode progress ----------------------------------------
         for (Request* r : decodes) {
             r->generated += 1;
-            if (r->generated >= r->outputLen) {
-                r->state = ReqState::Finished;
-                r->finishedAt = now + iter_cycles;
-                batcher.release(r);
-                ++finished;
-            }
+            if (r->generated >= r->outputLen)
+                finish(r, now + iter_cycles);
         }
 
         // ---- accounting ---------------------------------------------
@@ -232,6 +259,15 @@ ServingEngine::run(std::vector<Request>& reqs)
     res.summary = summarize(reqs, res.timeline.span(), cfg_.slo);
     res.summary.computeUtilization =
         res.timeline.computeUtilization(cfg_.totalComputeBw);
+    if (cache) {
+        const PrefixCacheStats& st = cache->stats();
+        res.summary.prefixLookups = st.lookups;
+        res.summary.prefixHits = st.hits;
+        res.summary.prefixTokensSaved = st.tokensSaved;
+        res.summary.prefixPeakOccupancyTokens = st.peakOccupancyTokens;
+        // summarize ran before the cache counters were attached.
+        refreshPrefixDerivedStats(res.summary);
+    }
     return res;
 }
 

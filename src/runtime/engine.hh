@@ -2,13 +2,16 @@
  * @file
  * Continuous-batching serving engine on the DAM substrate. Per batching
  * iteration the engine (1) admits arrivals through the KV-budgeted
- * batcher, (2) asks the active dynamic-parallelism policy to split the
- * compute bandwidth between prefill and decode, (3) instantiates one
+ * batcher — with the prefix cache enabled, admission charges KV and
+ * prefill only for the prompt suffix the cache does not already hold —
+ * (2) asks the active dynamic-parallelism policy to split the compute
+ * bandwidth between prefill and decode, (3) instantiates one
  * decoder-layer STeP graph for the *current* decode-batch composition
  * (per-request KV lengths + a fresh expert-routing trace) and runs it
  * through a reused dam::Scheduler, and (4) advances per-request state,
- * recording TTFT/TPOT events. Prefill progress is modeled analytically
- * at the policy-allocated bandwidth (prefill is dense and static — the
+ * recording TTFT/TPOT events and inserting completed prefixes back into
+ * the cache. Prefill progress is modeled analytically at the
+ * policy-allocated bandwidth (prefill is dense and static — the
  * dynamism the simulated graphs must capture lives in decode).
  */
 #pragma once
@@ -21,6 +24,7 @@
 #include "runtime/batcher.hh"
 #include "runtime/metrics.hh"
 #include "runtime/policy.hh"
+#include "runtime/prefixcache.hh"
 #include "runtime/request.hh"
 #include "workloads/decoder.hh"
 
@@ -44,6 +48,15 @@ struct EngineConfig
     int64_t weightTileCols = 64;
 
     BatcherConfig batcher; ///< kvBytesPerToken 0 = derive from model
+    /**
+     * KV prefix cache (capacityTokens 0 = disabled, the default — the
+     * engine is then bit-identical to a cache-less build). When
+     * enabled, admission charges prefill flops and KV reservation only
+     * for the uncached suffix, completed prefixes are inserted back,
+     * and ServingSummary reports hit-rate / tokens-saved / occupancy.
+     * Each run() starts with a cold cache so replays stay seeded.
+     */
+    PrefixCacheConfig prefixCache;
     SloConfig slo;
     uint64_t seed = 42;
 

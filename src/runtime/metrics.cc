@@ -45,6 +45,7 @@ finalizeDerivedStats(ServingSummary& s)
     s.tpotP50 = percentileSorted(tpot, 50.0);
     s.tpotP99 = percentileSorted(tpot, 99.0);
     s.tpotMean = mean(tpot);
+    refreshPrefixDerivedStats(s);
     if (s.makespan > 0) {
         double kcycles = static_cast<double>(s.makespan) / 1000.0;
         s.throughputTokensPerKcycle =
@@ -55,6 +56,21 @@ finalizeDerivedStats(ServingSummary& s)
 }
 
 } // namespace
+
+void
+refreshPrefixDerivedStats(ServingSummary& s)
+{
+    s.prefixHitRate =
+        s.prefixLookups > 0
+            ? static_cast<double>(s.prefixHits) /
+                  static_cast<double>(s.prefixLookups)
+            : 0.0;
+    s.prefillTokensSavedFrac =
+        s.promptTokens > 0
+            ? static_cast<double>(s.prefixTokensSaved) /
+                  static_cast<double>(s.promptTokens)
+            : 0.0;
+}
 
 ServingSummary
 summarize(const std::vector<Request>& reqs, dam::Cycle makespan,
@@ -67,6 +83,7 @@ summarize(const std::vector<Request>& reqs, dam::Cycle makespan,
             continue;
         ++s.completed;
         s.generatedTokens += r.generated;
+        s.promptTokens += r.promptLen;
         s.ttftSamples.push_back(ttft(r));
         if (r.outputLen > 1)
             s.tpotSamples.push_back(tpot(r));
@@ -88,6 +105,11 @@ mergeSummaries(const std::vector<ServingSummary>& parts)
         m.generatedTokens += p.generatedTokens;
         m.sloCompliant += p.sloCompliant;
         m.sloGoodTokens += p.sloGoodTokens;
+        m.promptTokens += p.promptTokens;
+        m.prefixLookups += p.prefixLookups;
+        m.prefixHits += p.prefixHits;
+        m.prefixTokensSaved += p.prefixTokensSaved;
+        m.prefixPeakOccupancyTokens += p.prefixPeakOccupancyTokens;
         m.makespan = std::max(m.makespan, p.makespan);
         m.ttftSamples.insert(m.ttftSamples.end(), p.ttftSamples.begin(),
                              p.ttftSamples.end());
@@ -115,6 +137,15 @@ printSummary(const ServingSummary& s, std::ostream& os)
        << " tokens/kcycle\n"
        << "compute utilization: " << 100.0 * s.computeUtilization
        << " %\n";
+    if (s.prefixLookups > 0) {
+        os << "prefix cache       : " << 100.0 * s.prefixHitRate
+           << " % hit rate (" << s.prefixHits << "/" << s.prefixLookups
+           << "), " << s.prefixTokensSaved << "/" << s.promptTokens
+           << " prompt tokens served from cache ("
+           << 100.0 * s.prefillTokensSavedFrac << " % prefill saved), "
+           << "peak occupancy " << s.prefixPeakOccupancyTokens
+           << " KV tokens\n";
+    }
 }
 
 } // namespace step::runtime

@@ -53,6 +53,24 @@ struct ServingSummary
     /** Useful FLOPs / (provisioned bandwidth * makespan); engine-filled. */
     double computeUtilization = 0;
 
+    // ---- prefix-cache metrics (all 0 when the cache is disabled) -----
+    /** Prompt tokens of completed requests (denominator for savings). */
+    int64_t promptTokens = 0;
+    int64_t prefixLookups = 0; ///< admissions that consulted the cache
+    int64_t prefixHits = 0;    ///< lookups matching >= 1 cached block
+    /** Prompt tokens served from cache instead of being prefilled. */
+    int64_t prefixTokensSaved = 0;
+    /**
+     * Peak cache occupancy in KV tokens. Merged by summation: replica
+     * caches are disjoint, so the sum bounds the cluster's aggregate
+     * cache footprint (peaks need not be simultaneous).
+     */
+    int64_t prefixPeakOccupancyTokens = 0;
+    /** prefixHits / prefixLookups; derived, 0 with no lookups. */
+    double prefixHitRate = 0;
+    /** prefixTokensSaved / promptTokens; derived, 0 with no prompts. */
+    double prefillTokensSavedFrac = 0;
+
     /**
      * Raw per-request latency samples (request order), retained so a
      * cluster can recompute aggregate percentiles over the union of its
@@ -70,8 +88,11 @@ ServingSummary summarize(const std::vector<Request>& reqs,
                          dam::Cycle makespan, const SloConfig& slo);
 
 /**
- * Merge per-replica summaries into one cluster-level summary. Counts and
- * token totals add; the makespan is the maximum (replicas run
+ * Merge per-replica summaries into one cluster-level summary. Counts,
+ * token totals, and prefix-cache counters add (replica caches are
+ * disjoint, so summed peak occupancy bounds the cluster's aggregate
+ * cache footprint) and the hit-rate/savings fractions are re-derived
+ * from the summed counters; the makespan is the maximum (replicas run
  * concurrently from cycle 0, so the cluster finishes when its slowest
  * replica does) and rates are recomputed against it; percentiles and
  * means are recomputed from the concatenated raw sample vectors, never
@@ -81,6 +102,14 @@ ServingSummary summarize(const std::vector<Request>& reqs,
  * @p parts.
  */
 ServingSummary mergeSummaries(const std::vector<ServingSummary>& parts);
+
+/**
+ * Re-derive prefixHitRate / prefillTokensSavedFrac from the summary's
+ * prefix counters — the one definition of those ratios, shared by
+ * summarize/mergeSummaries and by the engine, which attaches the cache
+ * counters only after summarize has run.
+ */
+void refreshPrefixDerivedStats(ServingSummary& s);
 
 void printSummary(const ServingSummary& s, std::ostream& os);
 

@@ -32,13 +32,136 @@ rateAt(const TraceConfig& cfg, double t)
     return on ? base * cfg.burstFactor : base / cfg.burstFactor;
 }
 
+/** Seed constants for synthetic token content. The system prompt hashes
+ *  from a fixed constant so it is bit-identical across sessions (and
+ *  across traces); session content hashes from (trace seed, session). */
+constexpr uint64_t kSystemPromptSeed = 0x53595354454d5052ULL;
+constexpr uint64_t kSessionSeed = 0x434f4e5645525341ULL;
+
+/**
+ * Per-session token-stream builder: appends synthetic token hashes and
+ * records the chained hash at every kPrefixBlockTokens boundary. Equal
+ * token sequences yield equal chained hashes, which is what turns the
+ * prefix cache's hash-keyed radix tree into genuine content sharing.
+ */
+struct TokenChain
+{
+    uint64_t hash = kSystemPromptSeed; ///< chain origin (any constant)
+    int64_t tokens = 0;
+    std::vector<uint64_t> blockHashes;
+
+    void
+    append(uint64_t segment_seed, int64_t count)
+    {
+        for (int64_t i = 0; i < count; ++i) {
+            hash = prefixHashMix(hash, prefixHashMix(segment_seed,
+                                                     static_cast<uint64_t>(i)));
+            if (++tokens % kPrefixBlockTokens == 0)
+                blockHashes.push_back(hash);
+        }
+    }
+};
+
+std::vector<Request>
+generateConversationTrace(const TraceConfig& cfg, uint64_t seed)
+{
+    STEP_ASSERT(cfg.turnsPerSession > 0, "session needs at least one turn");
+    STEP_ASSERT(cfg.sharedSystemPromptLen >= 0,
+                "negative system prompt length");
+    Rng rng(seed);
+
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<size_t>(cfg.numSessions * cfg.turnsPerSession));
+
+    // Session starts form the same piecewise-homogeneous Poisson process
+    // as single-turn arrivals (burst modulation included).
+    double session_start = 0.0;
+    for (int64_t s = 0; s < cfg.numSessions; ++s) {
+        double u = 0.0;
+        while (u == 0.0)
+            u = rng.uniform();
+        session_start += -std::log(u) / rateAt(cfg, session_start);
+
+        const uint64_t session_seed =
+            prefixHashMix(prefixHashMix(kSessionSeed, seed),
+                          static_cast<uint64_t>(s));
+        TokenChain chain;
+        chain.append(kSystemPromptSeed, cfg.sharedSystemPromptLen);
+
+        double arrival = session_start;
+        uint64_t affinity_key = 0;
+        for (int64_t t = 0; t < cfg.turnsPerSession; ++t) {
+            int64_t delta = sampleLen(rng, cfg.turnDeltaMean,
+                                      cfg.promptSigma, cfg.promptMin,
+                                      cfg.promptMax);
+            int64_t output = sampleLen(rng, cfg.outputMean,
+                                       cfg.outputSigma, cfg.outputMin,
+                                       cfg.outputMax);
+            // User turn t: new tokens on top of the full prior context.
+            chain.append(prefixHashMix(session_seed,
+                                       static_cast<uint64_t>(2 * t)),
+                         delta);
+
+            Request r;
+            r.sessionId = s;
+            r.turn = t;
+            r.arrival = static_cast<dam::Cycle>(std::llround(arrival));
+            r.promptLen = chain.tokens;
+            r.outputLen = output;
+            r.promptBlocks = chain.tokens / kPrefixBlockTokens;
+
+            // Assistant turn t: the generated output joins the context
+            // (and the request's own block hashes, so inserting the
+            // finished request caches prompt + output for turn t+1).
+            chain.append(prefixHashMix(session_seed,
+                                       static_cast<uint64_t>(2 * t + 1)),
+                         output);
+            r.blockHashes.assign(
+                chain.blockHashes.begin(),
+                chain.blockHashes.begin() +
+                    static_cast<ptrdiff_t>(chain.tokens /
+                                           kPrefixBlockTokens));
+
+            if (t == 0)
+                affinity_key = r.promptBlocks > 0
+                                   ? r.blockHashes[static_cast<size_t>(
+                                         r.promptBlocks - 1)]
+                                   : prefixHashMix(session_seed, 0);
+            r.affinityKey = affinity_key;
+            reqs.push_back(std::move(r));
+
+            double gap = 0.0;
+            while (gap == 0.0)
+                gap = rng.uniform();
+            arrival += -std::log(gap) *
+                       static_cast<double>(cfg.turnGapMean);
+        }
+    }
+
+    // Arrival order with a deterministic tie-break; ids number the
+    // sorted trace 0..n-1 exactly like the single-turn generator.
+    std::stable_sort(reqs.begin(), reqs.end(),
+                     [](const Request& a, const Request& b) {
+                         if (a.arrival != b.arrival)
+                             return a.arrival < b.arrival;
+                         if (a.sessionId != b.sessionId)
+                             return a.sessionId < b.sessionId;
+                         return a.turn < b.turn;
+                     });
+    for (size_t i = 0; i < reqs.size(); ++i)
+        reqs[i].id = static_cast<int64_t>(i);
+    return reqs;
+}
+
 } // namespace
 
 std::vector<Request>
 generateTrace(const TraceConfig& cfg, uint64_t seed)
 {
-    STEP_ASSERT(cfg.numRequests > 0, "empty trace requested");
     STEP_ASSERT(cfg.arrivalsPerKcycle > 0.0, "non-positive arrival rate");
+    if (cfg.numSessions > 0)
+        return generateConversationTrace(cfg, seed);
+    STEP_ASSERT(cfg.numRequests > 0, "empty trace requested");
     Rng rng(seed);
     std::vector<Request> reqs;
     reqs.reserve(static_cast<size_t>(cfg.numRequests));

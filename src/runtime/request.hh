@@ -23,12 +23,61 @@ enum class ReqState : uint8_t {
     Finished,
 };
 
+/**
+ * Tokens per prefix-cache block. Prompt content is identified by a
+ * chained hash per block of this many tokens (see Request::blockHashes);
+ * the prefix cache stores and evicts whole blocks, so trace generation
+ * and the cache must agree on the granularity — hence one shared
+ * constant rather than two config knobs that could drift apart.
+ */
+constexpr int64_t kPrefixBlockTokens = 16;
+
+/**
+ * SplitMix64-style 2-to-1 mixer used for synthetic token content and
+ * chained block hashes. Not cryptographic; 64-bit collisions are
+ * negligible at trace scale.
+ */
+constexpr uint64_t
+prefixHashMix(uint64_t a, uint64_t b)
+{
+    uint64_t z = a + 0x9e3779b97f4a7c15ULL +
+                 (b ^ (b >> 31)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 struct Request
 {
     int64_t id = 0;
     dam::Cycle arrival = 0;
     int64_t promptLen = 0; ///< tokens to prefill
     int64_t outputLen = 1; ///< tokens to generate (includes first token)
+
+    // ---- conversation / prefix identity ------------------------------
+    /** Session this request belongs to; -1 for single-turn traces. */
+    int64_t sessionId = -1;
+    /** Turn index within the session (0-based). */
+    int64_t turn = 0;
+    /**
+     * Chained hashes of the request's token stream (prompt followed by
+     * its own output), one per kPrefixBlockTokens full block. Hash i
+     * commits to every token in blocks [0, i], so equal hashes mean
+     * equal prefixes; a turn's stream is a strict prefix of the next
+     * turn's stream in the same session. Empty for legacy traces (no
+     * token content — the prefix cache then never matches).
+     */
+    std::vector<uint64_t> blockHashes;
+    /** How many of blockHashes lie entirely within the prompt. */
+    int64_t promptBlocks = 0;
+    /**
+     * Dominant-prefix key for cache-affinity routing: the chained hash
+     * of the session's first-turn prompt (shared by every turn of the
+     * session, distinct across sessions). 0 for legacy traces — the
+     * affinity router then places each request least-loaded, with no
+     * stickiness to preserve.
+     */
+    uint64_t affinityKey = 0;
 
     // ---- dynamic serving state --------------------------------------
     ReqState state = ReqState::Queued;
@@ -38,12 +87,33 @@ struct Request
     int64_t generated = 0;
     dam::Cycle firstTokenAt = 0; ///< valid once generated >= 1
     dam::Cycle finishedAt = 0;   ///< valid once state == Finished
+    /**
+     * Prompt tokens already resident in the prefix cache at admission
+     * (set by ContinuousBatcher::admit, 0 when the cache is disabled or
+     * cold). Capped at promptLen - 1: the final prompt token is always
+     * processed so the first output token has a compute event to come
+     * from. Fixed for the request's lifetime once admitted.
+     */
+    int64_t cachedPrefixTokens = 0;
 
     /** Current KV context length (prompt + generated so far). */
     int64_t contextLen() const { return promptLen + generated; }
 
-    /** Worst-case KV footprint in tokens, reserved at admission. */
-    int64_t kvReservationTokens() const { return promptLen + outputLen; }
+    /**
+     * KV tokens this request must newly reserve at admission: the
+     * worst-case footprint (prompt + max output) minus the cached-prefix
+     * tokens whose KV is already resident in the prefix cache and kept
+     * alive by the admission pin. Reserving the full prompt here would
+     * double-count the cached prefix — once in the cache's occupancy,
+     * once in the batcher budget — and starve admission exactly on the
+     * shared-prefix traces the cache exists for. cachedPrefixTokens is
+     * set at admission and never changes while the request runs, so
+     * release() symmetrically frees what admit() reserved.
+     */
+    int64_t kvReservationTokens() const
+    {
+        return promptLen + outputLen - cachedPrefixTokens;
+    }
 
     bool done() const { return state == ReqState::Finished; }
 };
@@ -79,6 +149,38 @@ struct TraceConfig
     dam::Cycle burstPeriod = 0;
     double burstDuty = 0.3;
     double burstFactor = 4.0;
+
+    // ---- conversation model (numSessions > 0 switches it on) ---------
+    /**
+     * With numSessions > 0 the trace is generated from a multi-turn
+     * conversation model instead of independent single-turn requests:
+     * numSessions sessions arrive as a (burst-modulated) Poisson
+     * process at arrivalsPerKcycle, each session runs turnsPerSession
+     * turns, and turn t's prompt is the session's full prior context —
+     * shared system prompt, every earlier turn's prompt delta and
+     * generated output — plus a fresh user delta. Token content is
+     * synthesized deterministically, so the per-block prefix hashes of
+     * a session's turns genuinely nest and the system prompt is
+     * bit-identical across sessions; numRequests is ignored (the trace
+     * holds numSessions * turnsPerSession requests). Prompt lengths
+     * follow from the context, so promptMean/Min/Max govern only the
+     * per-turn delta in this mode (see turnDeltaMean).
+     */
+    int64_t numSessions = 0;
+    int64_t turnsPerSession = 4;
+    /** Tokens of system prompt shared by every session (may be 0). */
+    int64_t sharedSystemPromptLen = 64;
+    /** Mean new user tokens per turn (log-normal, promptSigma,
+     *  clamped to [promptMin, promptMax]). */
+    int64_t turnDeltaMean = 96;
+    /**
+     * Mean cycles between a turn's arrival and the next turn of the
+     * same session (exponential): user think time plus service. Short
+     * gaps make the next turn arrive before the previous finished, so
+     * its freshly generated suffix is not yet cached — partial hits,
+     * exactly like a real impatient user.
+     */
+    dam::Cycle turnGapMean = 4'000'000;
 };
 
 /**

@@ -10,6 +10,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "runtime/cluster.hh"
@@ -203,6 +204,99 @@ TEST(Cluster, PercentileMergeMatchesSingleVectorRecompute)
     EXPECT_DOUBLE_EQ(m.ttftP50, 600.0);
     EXPECT_DOUBLE_EQ(p50_of_p50s, 200.0);
     EXPECT_NE(m.ttftP50, p50_of_p50s);
+}
+
+TEST(Cluster, MergeHandlesZeroRequestReplicaWithoutNaN)
+{
+    // A replica that was assigned nothing contributes empty sample
+    // vectors and a zero makespan; the merge must stay finite (no 0/0
+    // percentiles or rates) and reproduce the busy replica's stats.
+    ServingSummary busy;
+    busy.completed = 2;
+    busy.generatedTokens = 8;
+    busy.sloCompliant = 2;
+    busy.sloGoodTokens = 8;
+    busy.makespan = 1000;
+    busy.ttftSamples = {100, 300};
+    busy.tpotSamples = {50, 70};
+    ServingSummary idle; // default: zero requests, empty samples
+
+    for (const auto& parts :
+         {std::vector<ServingSummary>{busy, idle},
+          std::vector<ServingSummary>{idle, busy},
+          std::vector<ServingSummary>{idle, idle}}) {
+        ServingSummary m = mergeSummaries(parts);
+        for (double v : {m.ttftP50, m.ttftP99, m.ttftMean, m.tpotP50,
+                         m.tpotP99, m.tpotMean, m.prefixHitRate,
+                         m.prefillTokensSavedFrac,
+                         m.throughputTokensPerKcycle,
+                         m.goodputTokensPerKcycle}) {
+            EXPECT_TRUE(std::isfinite(v));
+        }
+    }
+    ServingSummary m = mergeSummaries({busy, idle});
+    EXPECT_EQ(m.completed, 2);
+    EXPECT_DOUBLE_EQ(m.ttftP50, 100.0);
+    EXPECT_DOUBLE_EQ(m.ttftP99, 300.0);
+    EXPECT_DOUBLE_EQ(m.tpotMean, 60.0);
+    EXPECT_EQ(m.makespan, 1000u);
+    ServingSummary empty = mergeSummaries({idle, idle});
+    EXPECT_EQ(empty.completed, 0);
+    EXPECT_DOUBLE_EQ(empty.ttftP50, 0.0);
+    EXPECT_DOUBLE_EQ(empty.throughputTokensPerKcycle, 0.0);
+}
+
+TEST(Cluster, MergeHandlesReplicaWithNoDecodedTokensWithoutNaN)
+{
+    // Single-output-token requests produce TTFT samples but no TPOT
+    // samples; the merged TPOT percentiles must come from the replicas
+    // that decoded, not degenerate to NaN.
+    ServingSummary no_decode;
+    no_decode.completed = 3;
+    no_decode.generatedTokens = 3;
+    no_decode.makespan = 500;
+    no_decode.ttftSamples = {10, 20, 30};
+    ServingSummary decodes;
+    decodes.completed = 1;
+    decodes.generatedTokens = 6;
+    decodes.makespan = 800;
+    decodes.ttftSamples = {40};
+    decodes.tpotSamples = {90};
+
+    ServingSummary m = mergeSummaries({no_decode, decodes});
+    EXPECT_TRUE(std::isfinite(m.tpotP50));
+    EXPECT_TRUE(std::isfinite(m.tpotP99));
+    EXPECT_TRUE(std::isfinite(m.tpotMean));
+    EXPECT_DOUBLE_EQ(m.tpotP50, 90.0);
+    EXPECT_DOUBLE_EQ(m.tpotP99, 90.0);
+    EXPECT_DOUBLE_EQ(m.ttftP50, 20.0);
+    EXPECT_EQ(m.completed, 4);
+}
+
+TEST(Cluster, MoreReplicasThanRequestsLeavesIdleReplicasWellFormed)
+{
+    // End-to-end version of the zero-request edge case: 4 replicas, 3
+    // requests, round-robin — replica 3 simulates an empty shard.
+    TraceConfig tc = clusterTrace(3);
+    auto reqs = generateTrace(tc, 19);
+    QueueDepthPolicy policy;
+    ClusterConfig cc;
+    cc.replicas = 4;
+    cc.routing = RouteKind::RoundRobin;
+    ServingCluster cluster(cc, policy);
+    ClusterResult r = cluster.run(reqs);
+
+    EXPECT_EQ(r.aggregate.completed, 3);
+    EXPECT_EQ(r.replicas[3].assignedRequests, 0);
+    EXPECT_EQ(r.replicas[3].result.summary.completed, 0);
+    EXPECT_EQ(r.replicas[3].result.summary.makespan, 0u);
+    for (double v :
+         {r.aggregate.ttftP50, r.aggregate.ttftP99, r.aggregate.tpotP50,
+          r.aggregate.tpotP99, r.aggregate.computeUtilization}) {
+        EXPECT_TRUE(std::isfinite(v));
+    }
+    for (const Request& req : reqs)
+        EXPECT_TRUE(req.done());
 }
 
 TEST(Cluster, MergedSamplesEqualUnionOfReplicaSamples)
