@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/json.hh"
 #include "ops/source_sink.hh"
 #include "support/table.hh"
 #include "trace/trace.hh"
@@ -32,7 +33,9 @@ namespace step::bench {
  * Schema v2: the artifact always carries a top-level "schema_version"
  * integer, and every numeric metric is an object {"value": N, "unit":
  * "..."} so consumers select metrics by key and unit instead of
- * parsing by position. String entries stay plain strings.
+ * parsing by position. String entries stay plain strings. All string
+ * content (keys, values, units) is JSON-escaped, so a config string
+ * with quotes or backslashes cannot corrupt the artifact.
  */
 class JsonReport
 {
@@ -44,14 +47,15 @@ class JsonReport
     set(const std::string& key, double v, const std::string& unit)
     {
         std::ostringstream os;
-        os << "{\"value\": " << v << ", \"unit\": \"" << unit << "\"}";
+        os << "{\"value\": " << v << ", \"unit\": \""
+           << obs::jsonEscape(unit) << "\"}";
         kv_.emplace_back(key, os.str());
     }
 
     void
     set(const std::string& key, const std::string& v)
     {
-        kv_.emplace_back(key, "\"" + v + "\"");
+        kv_.emplace_back(key, "\"" + obs::jsonEscape(v) + "\"");
     }
 
     bool
@@ -64,7 +68,8 @@ class JsonReport
         out << "  \"schema_version\": " << kSchemaVersion
             << (kv_.empty() ? "" : ",") << "\n";
         for (size_t i = 0; i < kv_.size(); ++i) {
-            out << "  \"" << kv_[i].first << "\": " << kv_[i].second
+            out << "  \"" << obs::jsonEscape(kv_[i].first)
+                << "\": " << kv_[i].second
                 << (i + 1 < kv_.size() ? "," : "") << "\n";
         }
         out << "}\n";

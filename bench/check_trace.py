@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the obs layer.
+
+Usage:
+    check_trace.py TRACE.json [REQUESTS.jsonl]
+
+Checks, in order:
+  1. the file parses as JSON and has a "traceEvents" array;
+  2. every event carries the required fields for its phase;
+  3. per (pid, tid) track, B/E/i/C timestamps are non-decreasing
+     (the exporter's monotone-clamp contract);
+  4. B/E spans balance per track (never closing an unopened span,
+     nothing left open at the end);
+  5. X (complete) events have a non-negative duration;
+  6. the stream contains at least one event beyond metadata.
+
+If a REQUESTS.jsonl is given, each line must parse as JSON and carry a
+consistent lifecycle: arrival <= admitted <= first_token <= finished
+for every phase that was reached (-1 marks unreached phases).
+
+Exit status 0 on success, 1 on any violation (with a message naming
+the first offending event).
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents array")
+
+    last_ts = defaultdict(lambda: None)
+    depth = defaultdict(int)
+    substantive = 0
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph is None:
+            fail(f"event {i} has no phase: {e}")
+        if ph == "M":
+            continue
+        substantive += 1
+        for field in ("name", "pid", "tid", "ts"):
+            if field not in e:
+                fail(f"event {i} ({ph}) missing '{field}': {e}")
+        key = (e["pid"], e["tid"])
+        ts = e["ts"]
+        if ph in ("B", "E", "i", "C"):
+            if last_ts[key] is not None and ts < last_ts[key]:
+                fail(
+                    f"event {i} ({ph} '{e['name']}') goes backwards on "
+                    f"track {key}: {ts} < {last_ts[key]}"
+                )
+            last_ts[key] = ts
+        if ph == "B":
+            depth[key] += 1
+        elif ph == "E":
+            depth[key] -= 1
+            if depth[key] < 0:
+                fail(
+                    f"event {i} (E '{e['name']}') closes an unopened "
+                    f"span on track {key}"
+                )
+        elif ph == "X":
+            if e.get("dur", -1) < 0:
+                fail(f"event {i} (X '{e['name']}') has bad dur: {e}")
+        elif ph in ("i", "C"):
+            pass
+        else:
+            fail(f"event {i} has unknown phase '{ph}'")
+
+    unbalanced = {k: d for k, d in depth.items() if d != 0}
+    if unbalanced:
+        fail(f"unbalanced B/E spans on tracks: {unbalanced}")
+    if substantive == 0:
+        fail(f"{path}: only metadata events")
+    print(
+        f"check_trace: {path}: {substantive} events on "
+        f"{len(last_ts)} tracks, spans balanced, timestamps monotone"
+    )
+
+
+def check_jsonl(path):
+    n = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                r = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: bad JSON: {e}")
+            n += 1
+            stamps = [
+                r.get("arrival", -1),
+                r.get("admitted", -1),
+                r.get("first_token", -1),
+                r.get("finished", -1),
+            ]
+            reached = [s for s in stamps if s != -1]
+            if reached != sorted(reached):
+                fail(f"{path}:{lineno}: lifecycle out of order: {r}")
+            # Phases are reached in order: no later stamp without the
+            # earlier ones.
+            seen_gap = False
+            for s in stamps:
+                if s == -1:
+                    seen_gap = True
+                elif seen_gap:
+                    fail(f"{path}:{lineno}: phase gap in lifecycle: {r}")
+    if n == 0:
+        fail(f"{path}: no request records")
+    print(f"check_trace: {path}: {n} request lifecycles consistent")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_jsonl(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

@@ -7,10 +7,18 @@
  * over the union of raw samples), then the per-replica breakdown for
  * the work-aware router, showing what the shards actually carried.
  *
- *   ./cluster_sim [--seed N]
+ *   ./cluster_sim [--seed N] [--threads N]
+ *                 [--trace out.json] [--trace-level off|request|op|full]
+ *
+ * Tracing covers the least-queued-routing run: one sink per replica,
+ * merged in replica order, so the output bytes do not depend on
+ * --threads — the property CI pins with a byte comparison.
  */
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "obs/export.hh"
 #include "runtime/cluster.hh"
 #include "support/rng.hh"
 #include "support/table.hh"
@@ -22,6 +30,19 @@ int
 main(int argc, char** argv)
 {
     uint64_t seed = seedFromArgsOrEnv(argc, argv);
+    obs::TraceCli trace_cli = obs::parseTraceCli(argc, argv);
+    if (trace_cli.error) {
+        std::cerr << "cluster_sim: " << trace_cli.errorMsg << "\n";
+        return 2;
+    }
+    int64_t threads = 0;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--threads")
+            threads = std::atoll(argv[i + 1]);
+    if (threads < 0) {
+        std::cerr << "cluster_sim: --threads must be >= 0\n";
+        return 2;
+    }
 
     TraceConfig tc;
     tc.numRequests = 480;
@@ -37,6 +58,7 @@ main(int argc, char** argv)
 
     ClusterConfig cc;
     cc.replicas = 4;
+    cc.threads = threads;
 
     std::cout << "serving " << tc.numRequests << " requests (seed "
               << seed << ") on " << cc.replicas << " replicas of "
@@ -51,6 +73,10 @@ main(int argc, char** argv)
          {RouteKind::RoundRobin, RouteKind::LeastQueued,
           RouteKind::HashAffinity}) {
         cc.routing = routing;
+        // Trace the least-queued run, one sink per replica.
+        cc.trace = routing == RouteKind::LeastQueued && trace_cli.enabled()
+                       ? trace_cli.options()
+                       : obs::TraceOptions{};
         auto reqs = generateTrace(tc, deriveSeed(2));
         ServingCluster cluster(cc, policy);
         ClusterResult r = cluster.run(reqs);
@@ -87,5 +113,28 @@ main(int argc, char** argv)
                  "of the replicas' raw samples ("
               << least_queued.aggregate.ttftSamples.size()
               << " TTFT samples), never from per-replica percentiles.\n";
+
+    if (!least_queued.traces.empty()) {
+        const auto views = least_queued.traceViews();
+        if (trace_cli.level >= obs::TraceLevel::Op) {
+            std::cout << "\n";
+            obs::printSwitchAttribution(std::cout, views);
+        }
+        if (!obs::writeChromeTraceFile(trace_cli.path, views)) {
+            std::cerr << "cluster_sim: cannot write trace to "
+                      << trace_cli.path << "\n";
+            return 1;
+        }
+        const std::string jsonl = obs::requestJsonlPath(trace_cli.path);
+        if (!obs::writeRequestJsonlFile(jsonl, views)) {
+            std::cerr << "cluster_sim: cannot write " << jsonl << "\n";
+            return 1;
+        }
+        std::cout << "\ntrace (" << obs::traceLevelName(trace_cli.level)
+                  << ", " << views.size()
+                  << " replica tracks, least-queued run) -> "
+                  << trace_cli.path << "\nrequest lifecycle -> " << jsonl
+                  << "\n";
+    }
     return 0;
 }

@@ -13,9 +13,17 @@
  *      holds their KV beat cache-blind routing on TTFT and goodput.
  *
  *   ./prefix_cache_sim [--seed N]
+ *                 [--trace out.json] [--trace-level off|request|op|full]
+ *
+ * Tracing covers the cache-enabled single-engine run: the per-request
+ * JSONL carries cached_prefix_tokens per admission, so cache hits are
+ * visible per request, not just in aggregate.
  */
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "obs/export.hh"
 #include "runtime/cluster.hh"
 #include "support/rng.hh"
 #include "support/table.hh"
@@ -45,6 +53,11 @@ int
 main(int argc, char** argv)
 {
     uint64_t seed = seedFromArgsOrEnv(argc, argv);
+    obs::TraceCli trace_cli = obs::parseTraceCli(argc, argv);
+    if (trace_cli.error) {
+        std::cerr << "prefix_cache_sim: " << trace_cli.errorMsg << "\n";
+        return 2;
+    }
     TraceConfig tc = conversationTrace();
 
     std::cout << "multi-turn workload: " << tc.numSessions
@@ -61,6 +74,13 @@ main(int argc, char** argv)
         QueueDepthPolicy policy;
         auto reqs = generateTrace(tc, deriveSeed(2));
         ServingEngine engine(ec, policy);
+        // Trace the cache-enabled run: the admission instants then
+        // carry per-request cached-prefix-token annotations.
+        std::unique_ptr<obs::TraceSink> sink;
+        if (capacity && trace_cli.enabled()) {
+            sink = std::make_unique<obs::TraceSink>(trace_cli.options());
+            engine.attachTrace(sink.get());
+        }
         EngineResult r = engine.run(reqs);
         std::cout << "\n--- prefix cache "
                   << (capacity ? "enabled" : "disabled");
@@ -68,6 +88,31 @@ main(int argc, char** argv)
             std::cout << " (" << capacity << " KV tokens)";
         std::cout << " ---\n";
         printSummary(r.summary, std::cout);
+        if (sink) {
+            const std::vector<const obs::TraceSink*> views{sink.get()};
+            if (sink->level() >= obs::TraceLevel::Op) {
+                std::cout << "\n";
+                obs::printSwitchAttribution(std::cout, views);
+            }
+            if (!obs::writeChromeTraceFile(trace_cli.path, views,
+                                           "engine")) {
+                std::cerr << "prefix_cache_sim: cannot write trace to "
+                          << trace_cli.path << "\n";
+                return 1;
+            }
+            const std::string jsonl =
+                obs::requestJsonlPath(trace_cli.path);
+            if (!obs::writeRequestJsonlFile(jsonl, views)) {
+                std::cerr << "prefix_cache_sim: cannot write " << jsonl
+                          << "\n";
+                return 1;
+            }
+            std::cout << "\ntrace ("
+                      << obs::traceLevelName(sink->level()) << ", "
+                      << sink->eventCount() << " events) -> "
+                      << trace_cli.path << "\nrequest lifecycle -> "
+                      << jsonl << "\n";
+        }
     }
 
     // ---- 2. capacity sweep -------------------------------------------

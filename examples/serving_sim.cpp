@@ -1,15 +1,26 @@
 /**
  * @file
- * Serving-runtime demo: a 240-request Poisson workload with bursty
- * on/off modulation served by the continuous-batching engine, once under
+ * Serving-runtime demo: a Poisson workload with bursty on/off
+ * modulation served by the continuous-batching engine, once under
  * a static prefill/decode bandwidth split and once under queue-depth-
  * driven reallocation. Prints TTFT/TPOT p50/p99, throughput, SLO
  * goodput, compute utilization, and a bucketed utilization timeline.
  *
- *   ./serving_sim [--seed N]
+ *   ./serving_sim [--seed N] [--requests N]
+ *                 [--trace out.json] [--trace-level off|request|op|full]
+ *
+ * Tracing covers the queue-depth-policy run (the interesting one):
+ * request lifecycle instants and counters at level `request`, plus
+ * per-op spans and the context-switch attribution table at `op`, plus
+ * per-resume scheduler spans at `full`. The trace is Perfetto-loadable
+ * Chrome JSON; a per-request JSONL lands next to it.
  */
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "obs/export.hh"
 #include "runtime/engine.hh"
 #include "support/rng.hh"
 
@@ -20,9 +31,22 @@ int
 main(int argc, char** argv)
 {
     uint64_t seed = seedFromArgsOrEnv(argc, argv);
+    obs::TraceCli trace_cli = obs::parseTraceCli(argc, argv);
+    if (trace_cli.error) {
+        std::cerr << "serving_sim: " << trace_cli.errorMsg << "\n";
+        return 2;
+    }
+    int64_t num_requests = 240;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--requests")
+            num_requests = std::atoll(argv[i + 1]);
+    if (num_requests < 1) {
+        std::cerr << "serving_sim: --requests must be positive\n";
+        return 2;
+    }
 
     TraceConfig tc;
-    tc.numRequests = 240;
+    tc.numRequests = num_requests;
     tc.arrivalsPerKcycle = 0.0012;
     tc.burstPeriod = 16'000'000;
     tc.burstDuty = 0.3;
@@ -46,6 +70,13 @@ main(int argc, char** argv)
 
         auto reqs = generateTrace(tc, deriveSeed(2));
         ServingEngine engine(ec, policy);
+        // Trace the dynamic-policy run: it is the configuration the
+        // other tooling (cluster, prefix cache) builds on.
+        std::unique_ptr<obs::TraceSink> sink;
+        if (dynamic && trace_cli.enabled()) {
+            sink = std::make_unique<obs::TraceSink>(trace_cli.options());
+            engine.attachTrace(sink.get());
+        }
         EngineResult r = engine.run(reqs);
 
         std::cout << "\n--- policy: " << policy.name() << " ("
@@ -53,6 +84,32 @@ main(int argc, char** argv)
         printSummary(r.summary, std::cout);
         std::cout << "\nutilization timeline:\n";
         r.timeline.bucketReport(ec.totalComputeBw).print();
+
+        if (sink) {
+            const std::vector<const obs::TraceSink*> views{sink.get()};
+            if (sink->level() >= obs::TraceLevel::Op) {
+                std::cout << "\n";
+                obs::printSwitchAttribution(std::cout, views);
+            }
+            if (!obs::writeChromeTraceFile(trace_cli.path, views,
+                                           "engine")) {
+                std::cerr << "serving_sim: cannot write trace to "
+                          << trace_cli.path << "\n";
+                return 1;
+            }
+            const std::string jsonl =
+                obs::requestJsonlPath(trace_cli.path);
+            if (!obs::writeRequestJsonlFile(jsonl, views)) {
+                std::cerr << "serving_sim: cannot write " << jsonl
+                          << "\n";
+                return 1;
+            }
+            std::cout << "\ntrace (" << obs::traceLevelName(sink->level())
+                      << ", " << sink->eventCount() << " events, "
+                      << sink->droppedEvents() << " dropped) -> "
+                      << trace_cli.path << "\nrequest lifecycle -> "
+                      << jsonl << "\n";
+        }
     }
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "dam/channel.hh"
+#include "obs/sink.hh"
 #include "support/error.hh"
 
 namespace step::dam {
@@ -80,6 +81,10 @@ Scheduler::drain()
     while (finished_ < contexts_.size()) {
         if (heap_.empty())
             stepFatal("simulation deadlock:\n" << deadlockReport());
+        // The root key is the scheduler's virtual time: it never runs
+        // backwards (wakes and yields always re-key at or after the
+        // current root), so it is the monotone stamp tracing wants.
+        const Cycle vnow = heap_.front().time;
         Context* ctx = popMin();
         if (ctx->state_ == CtxState::Blocked) {
             // Timed-wait deadline reached: every other ready context's
@@ -100,17 +105,27 @@ Scheduler::drain()
         extern void stepSwitchTraceHook(const char*);
         stepSwitchTraceHook(ctx->name().c_str());
 #endif
+        if (trace_) [[unlikely]]
+            trace_->schedResume(ctx, ctx->name(), vnow);
         ctx->task_.resume();
         if (ctx->task_.done()) {
             if (auto ex = ctx->task_.exception())
                 std::rethrow_exception(ex);
             ctx->state_ = CtxState::Finished;
             ++finished_;
+            if (trace_) [[unlikely]]
+                trace_->schedFinish(ctx, ctx->name(), ctx->now());
         } else if (ctx->state_ == CtxState::Running) {
             // Suspended without blocking (shouldn't happen: every
             // suspension point marks Blocked or yields).
             stepPanic("context " << ctx->name()
                       << " suspended in Running state");
+        } else if (trace_) [[unlikely]] {
+            // Blocked (read/write/select/timed-wait) or yielded; the
+            // block record is still intact either way.
+            trace_->schedSuspend(ctx, std::max(vnow, ctx->now()),
+                                 static_cast<uint8_t>(ctx->block_.kind),
+                                 ctx->block_.ch);
         }
     }
 }

@@ -19,6 +19,10 @@
 
 #include "dam/context.hh"
 
+namespace step::obs {
+class TraceSink;
+}
+
 namespace step::dam {
 
 class Scheduler
@@ -99,6 +103,18 @@ class Scheduler
     uint64_t contextSwitches() const { return switches_; }
 
     /**
+     * Attach (or detach, with nullptr) a trace sink. When set, drain()
+     * reports every resume, suspend, and completion to the sink —
+     * per-resume spans, per-op lifetime spans, and switch attribution,
+     * depending on the sink's level. Deliberately NOT cleared by
+     * reset(): the serving engine resets this scheduler once per
+     * batching iteration and the trace must span the whole run. The
+     * cost with no sink attached is one predicted branch per event.
+     */
+    void setTraceSink(obs::TraceSink* sink) { trace_ = sink; }
+    obs::TraceSink* traceSink() const { return trace_; }
+
+    /**
      * Earliest next-resume key in the ready heap, or nullopt when the
      * heap is empty. This is NOT necessarily any context's clock: the
      * heap also holds timed waiters keyed at their deadlines
@@ -138,6 +154,7 @@ class Scheduler
     uint64_t seq_ = 0;
     size_t finished_ = 0;
     uint64_t switches_ = 0;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 // ---- hot-path inline definitions --------------------------------------

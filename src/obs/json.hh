@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal JSON string escaping shared by the trace exporters and the
+ * bench JSON artifact writer. Escapes the characters JSON requires
+ * (quote, backslash, control characters); everything else passes
+ * through byte-for-byte, which keeps output deterministic.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace step::obs {
+
+inline void
+appendJsonEscaped(std::string& out, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    appendJsonEscaped(out, s);
+    return out;
+}
+
+} // namespace step::obs

@@ -251,10 +251,22 @@ ServingCluster::run(std::vector<Request>& reqs)
     std::vector<ReplicaResult> results(R);
     std::vector<std::exception_ptr> errors(T);
 
+    // One sink per replica, created before any worker exists: replica
+    // r's worker is the sink's only writer, and exporting the vector in
+    // index order erases the thread count from the output bytes.
+    std::vector<std::unique_ptr<obs::TraceSink>> traces;
+    if (cfg_.trace.level != obs::TraceLevel::Off) {
+        traces.reserve(R);
+        for (size_t r = 0; r < R; ++r)
+            traces.push_back(std::make_unique<obs::TraceSink>(cfg_.trace));
+    }
+
     auto run_replica = [&](size_t r) {
         EngineConfig ec = cfg_.engine;
         ec.seed = seeds[r];
         ServingEngine engine(ec, policy_);
+        if (!traces.empty())
+            engine.attachTrace(traces[r].get());
         ReplicaResult& out = results[r];
         out.replica = static_cast<int64_t>(r);
         out.seed = seeds[r];
@@ -297,6 +309,7 @@ ServingCluster::run(std::vector<Request>& reqs)
     // per-replica results, never on worker scheduling.
     ClusterResult out;
     out.replicas = std::move(results);
+    out.traces = std::move(traces);
     std::vector<ServingSummary> parts;
     parts.reserve(R);
     for (const ReplicaResult& rr : out.replicas) {

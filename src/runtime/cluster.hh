@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/sink.hh"
 #include "runtime/engine.hh"
 
 namespace step::runtime {
@@ -74,6 +76,15 @@ struct ClusterConfig
     /** Worker threads; 0 means one per replica. */
     int64_t threads = 0;
     RouteKind routing = RouteKind::RoundRobin;
+    /**
+     * Tracing (level Off = disabled). When enabled, run() creates one
+     * TraceSink per replica *before* workers spawn — each sink is then
+     * written by exactly one worker, so recording needs no locks — and
+     * hands them back in ClusterResult::traces, replica-index order.
+     * Exporting that vector yields bytes independent of the thread
+     * count.
+     */
+    obs::TraceOptions trace;
 };
 
 struct ReplicaResult
@@ -93,6 +104,22 @@ struct ClusterResult
     UtilizationTimeline timeline;
     std::vector<ReplicaResult> replicas;
     int64_t totalIterations = 0;
+    /** Per-replica trace sinks (replica-index order); empty when
+     *  ClusterConfig::trace.level is Off. unique_ptr keeps the sinks'
+     *  addresses stable across the result's moves. */
+    std::vector<std::unique_ptr<obs::TraceSink>> traces;
+
+    /** Borrowed views of `traces` in export order (replica order),
+     *  ready to pass to the obs exporters. */
+    std::vector<const obs::TraceSink*>
+    traceViews() const
+    {
+        std::vector<const obs::TraceSink*> out;
+        out.reserve(traces.size());
+        for (const auto& t : traces)
+            out.push_back(t.get());
+        return out;
+    }
 };
 
 class ServingCluster

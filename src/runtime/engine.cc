@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sink.hh"
 #include "support/error.hh"
 #include "support/rng.hh"
 #include "trace/trace.hh"
@@ -13,6 +14,26 @@ namespace {
 
 /** Hard bound against a non-progressing configuration. */
 constexpr int64_t kMaxIterations = 1'000'000;
+
+/** Handles into the sink's CounterRegistry, resolved once per run. */
+struct EngineCounters
+{
+    obs::CounterRegistry::Handle queueDepth, runningRequests, decodeBatch,
+        kvReservedBytes, prefixCacheTokens, iterations, prefillTokens,
+        generatedTokens, contextSwitches;
+
+    explicit EngineCounters(obs::CounterRegistry& c)
+        : queueDepth(c.gauge("queue_depth")),
+          runningRequests(c.gauge("running_requests")),
+          decodeBatch(c.gauge("decode_batch")),
+          kvReservedBytes(c.gauge("kv_reserved_bytes")),
+          prefixCacheTokens(c.gauge("prefix_cache_tokens")),
+          iterations(c.monotonic("iterations")),
+          prefillTokens(c.monotonic("prefill_tokens")),
+          generatedTokens(c.monotonic("generated_tokens")),
+          contextSwitches(c.monotonic("context_switches"))
+    {}
+};
 
 } // namespace
 
@@ -68,6 +89,15 @@ ServingEngine::run(std::vector<Request>& reqs)
     Rng iter_rng(cfg_.seed);
     const double fpt = static_cast<double>(prefillFlopsPerToken());
 
+    // Tracing: scheduler events only matter at level >= Op, so the
+    // per-resume branch in dam::Scheduler::drain stays cold below it.
+    sched_.setTraceSink(trace_ && trace_->level() >= obs::TraceLevel::Op
+                            ? trace_
+                            : nullptr);
+    std::unique_ptr<EngineCounters> ctr;
+    if (trace_)
+        ctr = std::make_unique<EngineCounters>(trace_->counters());
+
     // Request completion: cache the full prompt+output stream (the next
     // turn of the session prefixes it), drop the admission pin, free the
     // KV reservation.
@@ -82,6 +112,8 @@ ServingEngine::run(std::vector<Request>& reqs)
         }
         batcher.release(r);
         ++finished;
+        if (trace_) [[unlikely]]
+            trace_->reqFinished(r->id, at);
     };
 
     // Iteration-graph parameters shared across iterations; the per-
@@ -113,9 +145,18 @@ ServingEngine::run(std::vector<Request>& reqs)
 
         // ---- admit everything that has arrived by `now` --------------
         while (next_arrival < reqs.size() &&
-               reqs[next_arrival].arrival <= now)
-            batcher.enqueue(&reqs[next_arrival++]);
-        batcher.admit();
+               reqs[next_arrival].arrival <= now) {
+            Request& r = reqs[next_arrival++];
+            if (trace_) [[unlikely]]
+                trace_->reqArrived(r.id, r.sessionId, r.turn, r.promptLen,
+                                   r.outputLen, r.arrival);
+            batcher.enqueue(&r);
+        }
+        const std::vector<Request*> admitted = batcher.admit();
+        if (trace_) [[unlikely]] {
+            for (const Request* r : admitted)
+                trace_->reqAdmitted(r->id, r->cachedPrefixTokens, now);
+        }
 
         if (batcher.running().empty()) {
             STEP_ASSERT(next_arrival < reqs.size(),
@@ -161,6 +202,12 @@ ServingEngine::run(std::vector<Request>& reqs)
             if (cfg_.recycleGraphs && !iterGraph_)
                 iterGraph_ = std::make_unique<Graph>(SimConfig{},
                                                      &arena_);
+            if (trace_) [[unlikely]] {
+                // Graph runs stamp events in graph-local cycles; anchor
+                // them on the serving timeline. iter_cycles >= the
+                // simulated span, so successive bases stay monotone.
+                trace_->setTimeBase(now);
+            }
             SimResult sim = runDecoderIteration(
                 dp, spec, &sched_,
                 cfg_.recycleGraphs ? iterGraph_.get() : nullptr,
@@ -168,6 +215,10 @@ ServingEngine::run(std::vector<Request>& reqs)
             iter_cycles = sim.cycles * static_cast<dam::Cycle>(
                 cfg_.numLayers);
             decode_flops = sim.totalFlops * cfg_.numLayers;
+            if (ctr) [[unlikely]]
+                trace_->counters().add(
+                    ctr->contextSwitches,
+                    static_cast<int64_t>(sim.contextSwitches));
         } else {
             // Prefill-only iteration: run until the head request's
             // prompt completes, but wake up for the next arrival.
@@ -197,6 +248,7 @@ ServingEngine::run(std::vector<Request>& reqs)
                         static_cast<double>(iter_cycles);
         double consumed = 0.0;
         int64_t prefilled_tokens = 0;
+        int64_t first_tokens = 0;
         for (Request* r : prefills) {
             if (budget <= 0.0)
                 break;
@@ -223,7 +275,10 @@ ServingEngine::run(std::vector<Request>& reqs)
                 r->firstTokenAt =
                     now + std::min(offset, iter_cycles);
                 r->generated = 1;
+                ++first_tokens;
                 r->state = ReqState::Decoding;
+                if (trace_) [[unlikely]]
+                    trace_->reqFirstToken(r->id, r->firstTokenAt);
                 // The completed prompt prefix becomes cacheable for the
                 // session's (or any prefix-sharing) next request.
                 if (cache)
@@ -254,6 +309,24 @@ ServingEngine::run(std::vector<Request>& reqs)
         ++res.iterations;
 
         now += iter_cycles;
+
+        if (ctr) [[unlikely]] {
+            obs::CounterRegistry& c = trace_->counters();
+            c.set(ctr->queueDepth, batcher.waitingCount());
+            c.set(ctr->runningRequests,
+                  static_cast<int64_t>(batcher.running().size()));
+            c.set(ctr->decodeBatch, sample.decodeBatch);
+            c.set(ctr->kvReservedBytes, batcher.kvBytesReserved());
+            if (cache)
+                c.set(ctr->prefixCacheTokens, cache->occupancyTokens());
+            c.add(ctr->iterations, 1);
+            c.add(ctr->prefillTokens, prefilled_tokens);
+            // Every decode emits one token; prefill completions emit
+            // their first token inside this iteration too.
+            c.add(ctr->generatedTokens,
+                  static_cast<int64_t>(decodes.size()) + first_tokens);
+            trace_->sampleCounters(now);
+        }
     }
 
     res.summary = summarize(reqs, res.timeline.span(), cfg_.slo);
@@ -265,9 +338,14 @@ ServingEngine::run(std::vector<Request>& reqs)
         res.summary.prefixHits = st.hits;
         res.summary.prefixTokensSaved = st.tokensSaved;
         res.summary.prefixPeakOccupancyTokens = st.peakOccupancyTokens;
+        // A single engine is its own busiest replica.
+        res.summary.prefixPeakOccupancyMaxReplica =
+            st.peakOccupancyTokens;
         // summarize ran before the cache counters were attached.
         refreshPrefixDerivedStats(res.summary);
     }
+    if (trace_)
+        res.summary.counters = trace_->counters().snapshot();
     return res;
 }
 

@@ -28,6 +28,10 @@
 #include "runtime/request.hh"
 #include "workloads/decoder.hh"
 
+namespace step::obs {
+class TraceSink;
+}
+
 namespace step::runtime {
 
 struct EngineConfig
@@ -106,9 +110,21 @@ class ServingEngine
      */
     int64_t prefillFlopsPerToken() const;
 
+    /**
+     * Attach (or detach, with nullptr) a trace sink. run() then reports
+     * request lifecycle instants and samples the counter registry each
+     * iteration, and — at level >= Op — forwards the iteration graphs'
+     * scheduler events with the engine clock as time base. The sink
+     * must outlive the engine's runs; with none attached the only cost
+     * is one predicted branch per hook site.
+     */
+    void attachTrace(obs::TraceSink* sink) { trace_ = sink; }
+    obs::TraceSink* trace() const { return trace_; }
+
   private:
     EngineConfig cfg_;
     const Policy& policy_;
+    obs::TraceSink* trace_ = nullptr;
     dam::Scheduler sched_; ///< reused across per-iteration graphs
     GraphArena arena_;     ///< backs the recycled iteration graph
     std::unique_ptr<Graph> iterGraph_; ///< lazily created when recycling

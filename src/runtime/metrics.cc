@@ -110,6 +110,27 @@ mergeSummaries(const std::vector<ServingSummary>& parts)
         m.prefixHits += p.prefixHits;
         m.prefixTokensSaved += p.prefixTokensSaved;
         m.prefixPeakOccupancyTokens += p.prefixPeakOccupancyTokens;
+        // Carry the per-replica peak: a part that is itself a merge
+        // reports its busiest replica; a leaf summary (maxReplica still
+        // 0) is one replica, so its own peak is the carrier.
+        const int64_t part_peak =
+            p.prefixPeakOccupancyMaxReplica != 0
+                ? p.prefixPeakOccupancyMaxReplica
+                : p.prefixPeakOccupancyTokens;
+        m.prefixPeakOccupancyMaxReplica =
+            std::max(m.prefixPeakOccupancyMaxReplica, part_peak);
+        for (const obs::CounterSample& c : p.counters) {
+            auto it = std::find_if(m.counters.begin(), m.counters.end(),
+                                   [&](const obs::CounterSample& x) {
+                                       return x.name == c.name;
+                                   });
+            if (it == m.counters.end())
+                m.counters.push_back(c);
+            else if (c.monotonic)
+                it->value += c.value;
+            else
+                it->value = std::max(it->value, c.value);
+        }
         m.makespan = std::max(m.makespan, p.makespan);
         m.ttftSamples.insert(m.ttftSamples.end(), p.ttftSamples.begin(),
                              p.ttftSamples.end());
@@ -144,7 +165,17 @@ printSummary(const ServingSummary& s, std::ostream& os)
            << " prompt tokens served from cache ("
            << 100.0 * s.prefillTokensSavedFrac << " % prefill saved), "
            << "peak occupancy " << s.prefixPeakOccupancyTokens
-           << " KV tokens\n";
+           << " KV tokens summed bound ("
+           << (s.prefixPeakOccupancyMaxReplica != 0
+                   ? s.prefixPeakOccupancyMaxReplica
+                   : s.prefixPeakOccupancyTokens)
+           << " busiest replica)\n";
+    }
+    if (!s.counters.empty()) {
+        os << "counters           :";
+        for (const obs::CounterSample& c : s.counters)
+            os << " " << c.name << "=" << c.value;
+        os << "\n";
     }
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dam/task.hh"
+#include "obs/counters.hh"
 #include "runtime/request.hh"
 
 namespace step::runtime {
@@ -61,11 +62,20 @@ struct ServingSummary
     /** Prompt tokens served from cache instead of being prefilled. */
     int64_t prefixTokensSaved = 0;
     /**
-     * Peak cache occupancy in KV tokens. Merged by summation: replica
-     * caches are disjoint, so the sum bounds the cluster's aggregate
-     * cache footprint (peaks need not be simultaneous).
+     * Peak cache occupancy in KV tokens, summed across replicas.
+     * Replica caches are disjoint, so the sum is an upper *bound* on
+     * the cluster's aggregate cache footprint — the per-replica peaks
+     * need not be simultaneous, so this can overstate the true
+     * cluster-wide peak. Read prefixPeakOccupancyMaxReplica for the
+     * busiest single replica's provisioning requirement.
      */
     int64_t prefixPeakOccupancyTokens = 0;
+    /**
+     * Largest single-replica peak occupancy (KV tokens): what any one
+     * replica's cache must be provisioned for. Equals
+     * prefixPeakOccupancyTokens for a single engine; merged by max.
+     */
+    int64_t prefixPeakOccupancyMaxReplica = 0;
     /** prefixHits / prefixLookups; derived, 0 with no lookups. */
     double prefixHitRate = 0;
     /** prefixTokensSaved / promptTokens; derived, 0 with no prompts. */
@@ -78,6 +88,13 @@ struct ServingSummary
      */
     std::vector<double> ttftSamples;
     std::vector<double> tpotSamples;
+
+    /**
+     * Final telemetry counter values snapshotted from the engine's
+     * CounterRegistry (empty when tracing is off). Merged across
+     * replicas by name: monotonic counters sum, gauges take the max.
+     */
+    std::vector<obs::CounterSample> counters;
 };
 
 /**
