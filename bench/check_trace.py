@@ -2,7 +2,10 @@
 """Validate a Chrome trace-event JSON file produced by the obs layer.
 
 Usage:
-    check_trace.py TRACE.json [REQUESTS.jsonl]
+    check_trace.py TRACE.json [REQUESTS.jsonl] [--expect-faults]
+
+--expect-faults makes an entirely fault-free trace a failure: use it on
+runs that injected faults, so a silently ignored fault plan cannot pass.
 
 Checks, in order:
   1. the file parses as JSON and has a "traceEvents" array;
@@ -16,7 +19,16 @@ Checks, in order:
 
 If a REQUESTS.jsonl is given, each line must parse as JSON and carry a
 consistent lifecycle: arrival <= admitted <= first_token <= finished
-for every phase that was reached (-1 marks unreached phases).
+for every phase that was reached (-1 marks unreached phases). Fault
+outcomes are checked too: finished/failed/shed are mutually exclusive,
+failed/shed stamps never precede the arrival (or the first token, when
+one was emitted), shed requests were never admitted, and attempt counts
+are non-negative.
+
+Fault instants in the trace (fault.replica_down / fault.replica_up /
+req.retry / req.failed / req.shed) must alternate sanely per track: a
+replica_up only after a replica_down, and their totals are reported so
+CI can assert a faulty run actually recorded faults.
 
 Exit status 0 on success, 1 on any violation (with a message naming
 the first offending event).
@@ -45,6 +57,8 @@ def check_trace(path):
 
     last_ts = defaultdict(lambda: None)
     depth = defaultdict(int)
+    down = defaultdict(bool)
+    fault_counts = defaultdict(int)
     substantive = 0
 
     for i, e in enumerate(events):
@@ -78,7 +92,31 @@ def check_trace(path):
         elif ph == "X":
             if e.get("dur", -1) < 0:
                 fail(f"event {i} (X '{e['name']}') has bad dur: {e}")
-        elif ph in ("i", "C"):
+        elif ph == "i":
+            name = e["name"]
+            if name in (
+                "fault.replica_down",
+                "fault.replica_up",
+                "req.retry",
+                "req.failed",
+                "req.shed",
+            ):
+                fault_counts[name] += 1
+            if name == "fault.replica_down":
+                if down[e["pid"]]:
+                    fail(
+                        f"event {i}: replica {e['pid']} goes down "
+                        f"while already down"
+                    )
+                down[e["pid"]] = True
+            elif name == "fault.replica_up":
+                if not down[e["pid"]]:
+                    fail(
+                        f"event {i}: replica {e['pid']} comes up "
+                        f"without a preceding down"
+                    )
+                down[e["pid"]] = False
+        elif ph == "C":
             pass
         else:
             fail(f"event {i} has unknown phase '{ph}'")
@@ -88,14 +126,25 @@ def check_trace(path):
         fail(f"unbalanced B/E spans on tracks: {unbalanced}")
     if substantive == 0:
         fail(f"{path}: only metadata events")
+    faults = sum(fault_counts.values())
+    fault_note = (
+        "; fault events: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(fault_counts.items()))
+        if faults
+        else ""
+    )
     print(
         f"check_trace: {path}: {substantive} events on "
         f"{len(last_ts)} tracks, spans balanced, timestamps monotone"
+        f"{fault_note}"
     )
+    return faults
 
 
 def check_jsonl(path):
     n = 0
+    failures = defaultdict(list)
+    retries = []
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -116,25 +165,77 @@ def check_jsonl(path):
             if reached != sorted(reached):
                 fail(f"{path}:{lineno}: lifecycle out of order: {r}")
             # Phases are reached in order: no later stamp without the
-            # earlier ones.
+            # earlier ones. A failed/shed request legitimately stops
+            # partway, so the gap rule applies to the happy path only.
             seen_gap = False
             for s in stamps:
                 if s == -1:
                     seen_gap = True
                 elif seen_gap:
                     fail(f"{path}:{lineno}: phase gap in lifecycle: {r}")
+            # Fault outcomes: finished/failed/shed are exclusive
+            # terminal states, stamped no earlier than anything the
+            # request reached before dying.
+            failed = r.get("failed", -1)
+            shed = r.get("shed", -1)
+            finished = r.get("finished", -1)
+            terminal = [s for s in (finished, failed, shed) if s != -1]
+            if len(terminal) > 1:
+                fail(
+                    f"{path}:{lineno}: more than one terminal state: {r}"
+                )
+            arrival = r.get("arrival", -1)
+            for name, s in (("failed", failed), ("shed", shed)):
+                if s == -1:
+                    continue
+                if arrival != -1 and s < arrival:
+                    fail(
+                        f"{path}:{lineno}: {name} stamp precedes "
+                        f"arrival: {r}"
+                    )
+                first = r.get("first_token", -1)
+                if first != -1 and s < first:
+                    fail(
+                        f"{path}:{lineno}: {name} stamp precedes "
+                        f"first token: {r}"
+                    )
+            if shed != -1 and r.get("admitted", -1) != -1:
+                fail(f"{path}:{lineno}: shed request was admitted: {r}")
+            if r.get("attempt", 0) < 0:
+                fail(f"{path}:{lineno}: negative attempt count: {r}")
+            rid = r.get("id")
+            if rid is not None:
+                if failed != -1:
+                    failures[rid].append(failed)
+                if r.get("attempt", 0) > 0:
+                    retries.append((lineno, rid, arrival))
     if n == 0:
         fail(f"{path}: no request records")
-    print(f"check_trace: {path}: {n} request lifecycles consistent")
+    # A retry incarnation re-arrives only after some incarnation of the
+    # same request failed: fault <= retry re-arrival.
+    for lineno, rid, arrival in retries:
+        if not any(f <= arrival for f in failures.get(rid, [])):
+            fail(
+                f"{path}:{lineno}: request {rid} retried (arrival "
+                f"{arrival}) with no earlier failure on record"
+            )
+    print(
+        f"check_trace: {path}: {n} request lifecycles consistent"
+        + (f", {len(retries)} retries each after a failure" if retries else "")
+    )
 
 
 def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
+    args = [a for a in sys.argv[1:] if a != "--expect-faults"]
+    expect_faults = "--expect-faults" in sys.argv[1:]
+    if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    check_trace(sys.argv[1])
-    if len(sys.argv) == 3:
-        check_jsonl(sys.argv[2])
+    faults = check_trace(args[0])
+    if expect_faults and not faults:
+        fail(f"{args[0]}: --expect-faults but no fault/retry/shed events")
+    if len(args) == 2:
+        check_jsonl(args[1])
 
 
 if __name__ == "__main__":

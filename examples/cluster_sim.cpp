@@ -9,10 +9,19 @@
  *
  *   ./cluster_sim [--seed N] [--threads N]
  *                 [--trace out.json] [--trace-level off|request|op|full]
+ *                 [--mtbf N | --fault-plan SPEC] [--deadline N]
  *
  * Tracing covers the least-queued-routing run: one sink per replica,
  * merged in replica order, so the output bytes do not depend on
  * --threads — the property CI pins with a byte comparison.
+ *
+ * Fault tier (off by default; without these flags the output is
+ * bit-identical to the fault-less build): --mtbf N draws a seeded
+ * random crash plan with mean-time-between-failures N cycles (MTTR =
+ * N/4) over twice the trace span; --fault-plan takes explicit
+ * "REPLICA@FAIL_AT[:RECOVER_AT]" windows, comma-separated; --deadline N
+ * stamps every request with an arrival-relative deadline and sheds
+ * unmeetable work through DeadlineAwareShedPolicy.
  */
 #include <cstdlib>
 #include <iostream>
@@ -36,11 +45,31 @@ main(int argc, char** argv)
         return 2;
     }
     int64_t threads = 0;
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::string(argv[i]) == "--threads")
+    int64_t mtbf = 0;
+    int64_t deadline = 0;
+    std::string plan_spec;
+    for (int i = 1; i + 1 < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--threads")
             threads = std::atoll(argv[i + 1]);
+        else if (a == "--mtbf")
+            mtbf = std::atoll(argv[i + 1]);
+        else if (a == "--fault-plan")
+            plan_spec = argv[i + 1];
+        else if (a == "--deadline")
+            deadline = std::atoll(argv[i + 1]);
+    }
     if (threads < 0) {
         std::cerr << "cluster_sim: --threads must be >= 0\n";
+        return 2;
+    }
+    if (mtbf < 0 || deadline < 0) {
+        std::cerr << "cluster_sim: --mtbf/--deadline must be >= 0\n";
+        return 2;
+    }
+    if (mtbf > 0 && !plan_spec.empty()) {
+        std::cerr << "cluster_sim: --mtbf and --fault-plan are "
+                     "mutually exclusive\n";
         return 2;
     }
 
@@ -56,18 +85,64 @@ main(int argc, char** argv)
     tc.promptSigma = 1.1;
     tc.outputSigma = 0.9;
 
+    if (deadline > 0)
+        tc.deadlineCycles = deadline;
+
     ClusterConfig cc;
     cc.replicas = 4;
     cc.threads = threads;
 
+    FaultPlan plan;
+    if (!plan_spec.empty()) {
+        std::string err;
+        if (!parseFaultPlan(plan_spec, &plan, &err)) {
+            std::cerr << "cluster_sim: --fault-plan: " << err << "\n";
+            return 2;
+        }
+    } else if (mtbf > 0) {
+        // Horizon: twice the trace span, so late crashes are possible.
+        const auto probe = generateTrace(tc, deriveSeed(2));
+        FaultPlanConfig fc;
+        fc.mtbfCycles = mtbf;
+        fc.mttrCycles = mtbf / 4;
+        fc.horizonCycles =
+            probe.empty() ? 0 : probe.back().arrival * 2;
+        plan = generateFaultPlan(fc, cc.replicas, deriveSeed(3));
+    }
+    cc.faults = plan;
+    DeadlineAwareShedPolicy shed_policy;
+    if (deadline > 0)
+        cc.engine.admission = &shed_policy;
+
     std::cout << "serving " << tc.numRequests << " requests (seed "
               << seed << ") on " << cc.replicas << " replicas of "
               << cc.engine.model.name << ", " << cc.engine.totalComputeBw
-              << " FLOPs/cycle each\n\n";
+              << " FLOPs/cycle each\n";
+    if (!plan.empty()) {
+        std::cout << "fault plan: " << plan.crashes.size()
+                  << " crash window(s):";
+        for (const FaultEvent& e : plan.crashes) {
+            std::cout << " replica " << e.replica << " down @"
+                      << e.failAt;
+            if (e.recoverAt != 0)
+                std::cout << " up @" << e.recoverAt;
+            else
+                std::cout << " (permanent)";
+            std::cout << ";";
+        }
+        std::cout << "\n";
+    }
+    if (deadline > 0)
+        std::cout << "deadline: arrival + " << deadline
+                  << " cycles, deadline-aware shedding on\n";
+    std::cout << "\n";
 
     QueueDepthPolicy policy;
+    const bool fault_tier = !plan.empty() || deadline > 0;
     Table t({"routing", "TTFT p50", "TTFT p99", "TPOT p99",
              "tput tok/kcyc", "goodput", "SLO ok", "util %"});
+    Table ft({"routing", "completed", "failed", "retried", "shed",
+              "ddl miss", "retries", "avail %"});
     ClusterResult least_queued;
     for (RouteKind routing :
          {RouteKind::RoundRobin, RouteKind::LeastQueued,
@@ -90,10 +165,24 @@ main(int argc, char** argv)
             .cellF(s.goodputTokensPerKcycle, 4)
             .cell(s.sloCompliant)
             .cellF(100.0 * s.computeUtilization, 1);
+        if (fault_tier)
+            ft.row()
+                .cell(routeKindName(routing))
+                .cell(s.completed)
+                .cell(s.failedRequests)
+                .cell(s.retriedRequests)
+                .cell(s.shedRequests)
+                .cell(s.deadlineMisses)
+                .cell(r.retriesIssued)
+                .cellF(100.0 * s.availability, 2);
         if (routing == RouteKind::LeastQueued)
             least_queued = std::move(r);
     }
     t.print();
+    if (fault_tier) {
+        std::cout << "\nfault tolerance (per routing):\n";
+        ft.print();
+    }
 
     std::cout << "\nper-replica breakdown (least-queued routing):\n";
     Table per({"replica", "seed", "requests", "iterations", "makespan",

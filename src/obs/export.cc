@@ -180,6 +180,7 @@ writeRequestJsonl(std::ostream& os,
             buf += ",\"output_len\":" + std::to_string(r.outputLen);
             buf += ",\"cached_prefix_tokens\":" +
                    std::to_string(r.cachedPrefixTokens);
+            buf += ",\"attempt\":" + std::to_string(r.attempt);
             buf += ",\"arrival\":" + std::to_string(r.arrival);
             buf += ",\"admitted\":" +
                    (r.admitted ? std::to_string(r.admittedAt)
@@ -190,6 +191,11 @@ writeRequestJsonl(std::ostream& os,
             buf += ",\"finished\":" +
                    (r.finished ? std::to_string(r.finishedAt)
                                : std::string("-1"));
+            buf += ",\"failed\":" +
+                   (r.failed ? std::to_string(r.failedAt)
+                             : std::string("-1"));
+            buf += ",\"shed\":" + (r.shed ? std::to_string(r.shedAt)
+                                          : std::string("-1"));
             buf += ",\"ttft\":" +
                    (r.sawFirstToken
                         ? std::to_string(static_cast<int64_t>(

@@ -67,6 +67,11 @@ TraceSink::TraceSink(TraceOptions opts) : opts_(opts)
     nameAdmit_ = intern("req.admit");
     nameFirstToken_ = intern("req.first_token");
     nameFinish_ = intern("req.finish");
+    nameRetry_ = intern("req.retry");
+    nameFailed_ = intern("req.failed");
+    nameShed_ = intern("req.shed");
+    nameFaultDown_ = intern("fault.replica_down");
+    nameFaultUp_ = intern("fault.replica_up");
 }
 
 uint32_t
@@ -195,8 +200,8 @@ TraceSink::schedFinish(const void* ctx, const std::string& ctx_name,
 
 void
 TraceSink::reqArrived(int64_t id, int64_t session, int64_t turn,
-                      int64_t prompt_len, int64_t output_len,
-                      dam::Cycle at)
+                      int64_t prompt_len, int64_t output_len, dam::Cycle at,
+                      int64_t attempt)
 {
     if (opts_.level < TraceLevel::Request)
         return;
@@ -206,8 +211,12 @@ TraceSink::reqArrived(int64_t id, int64_t session, int64_t turn,
     rec.turn = turn;
     rec.promptLen = prompt_len;
     rec.outputLen = output_len;
+    rec.attempt = attempt;
     rec.arrival = at;
-    reqIndex_.emplace(id, requests_.size());
+    // Overwrite, not emplace: a retry incarnation of the same id takes
+    // over the id's slot so later hooks land on the live incarnation;
+    // the superseded record stays in requests_ for the JSONL.
+    reqIndex_[id] = requests_.size();
     requests_.push_back(rec);
 
     TraceEvent e;
@@ -218,6 +227,16 @@ TraceSink::reqArrived(int64_t id, int64_t session, int64_t turn,
     e.arg0 = id;
     e.arg1 = prompt_len;
     append(e);
+    if (attempt > 0) {
+        TraceEvent re;
+        re.ts = at;
+        re.name = nameRetry_;
+        re.kind = EventKind::Instant;
+        re.tid = kTidLifecycle;
+        re.arg0 = id;
+        re.arg1 = attempt;
+        append(re);
+    }
 }
 
 void
@@ -280,6 +299,76 @@ TraceSink::reqFinished(int64_t id, dam::Cycle at)
     e.kind = EventKind::Instant;
     e.tid = kTidLifecycle;
     e.arg0 = id;
+    append(e);
+}
+
+void
+TraceSink::reqFailed(int64_t id, dam::Cycle at)
+{
+    if (opts_.level < TraceLevel::Request)
+        return;
+    auto it = reqIndex_.find(id);
+    if (it != reqIndex_.end()) {
+        RequestLifecycle& rec = requests_[it->second];
+        rec.failed = true;
+        rec.failedAt = at;
+    }
+    TraceEvent e;
+    e.ts = at;
+    e.name = nameFailed_;
+    e.kind = EventKind::Instant;
+    e.tid = kTidLifecycle;
+    e.arg0 = id;
+    append(e);
+}
+
+void
+TraceSink::reqShed(int64_t id, dam::Cycle at)
+{
+    if (opts_.level < TraceLevel::Request)
+        return;
+    auto it = reqIndex_.find(id);
+    if (it != reqIndex_.end()) {
+        RequestLifecycle& rec = requests_[it->second];
+        rec.shed = true;
+        rec.shedAt = at;
+    }
+    TraceEvent e;
+    e.ts = at;
+    e.name = nameShed_;
+    e.kind = EventKind::Instant;
+    e.tid = kTidLifecycle;
+    e.arg0 = id;
+    append(e);
+}
+
+void
+TraceSink::faultDown(dam::Cycle at, dam::Cycle fail_at,
+                     dam::Cycle recover_at)
+{
+    if (opts_.level < TraceLevel::Request)
+        return;
+    TraceEvent e;
+    e.ts = at;
+    e.name = nameFaultDown_;
+    e.kind = EventKind::Instant;
+    e.tid = kTidLifecycle;
+    e.arg0 = static_cast<int64_t>(fail_at);
+    e.arg1 = recover_at != 0 ? static_cast<int64_t>(recover_at) : -1;
+    append(e);
+}
+
+void
+TraceSink::faultUp(dam::Cycle at)
+{
+    if (opts_.level < TraceLevel::Request)
+        return;
+    TraceEvent e;
+    e.ts = at;
+    e.name = nameFaultUp_;
+    e.kind = EventKind::Instant;
+    e.tid = kTidLifecycle;
+    e.arg0 = -1;
     append(e);
 }
 

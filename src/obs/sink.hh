@@ -42,13 +42,19 @@ struct RequestLifecycle
     int64_t outputLen = 0;
     /** Prompt tokens served from the prefix cache at admission. */
     int64_t cachedPrefixTokens = 0;
+    /** Submission attempt (0 = original, >0 = cluster retry). */
+    int64_t attempt = 0;
     dam::Cycle arrival = 0;
     dam::Cycle admittedAt = 0;
     dam::Cycle firstTokenAt = 0;
     dam::Cycle finishedAt = 0;
+    dam::Cycle failedAt = 0;
+    dam::Cycle shedAt = 0;
     bool admitted = false;
     bool sawFirstToken = false;
     bool finished = false;
+    bool failed = false; ///< replica crashed under it
+    bool shed = false;   ///< dropped by the admission policy
 };
 
 /** One row of the switch-attribution histogram (sorted for export). */
@@ -96,13 +102,31 @@ class TraceSink
                      dam::Cycle at);
 
     // ---- request lifecycle hooks (engine-global cycles) --------------
+    /**
+     * @p attempt > 0 marks a cluster retry incarnation: a "req.retry"
+     * instant is emitted alongside the arrival, and the incarnation
+     * *replaces* the id's lifecycle record — later hooks for the id
+     * update the latest incarnation, and the JSONL reports one line per
+     * incarnation, so a failed first attempt stays visible.
+     */
     void reqArrived(int64_t id, int64_t session, int64_t turn,
-                    int64_t prompt_len, int64_t output_len,
-                    dam::Cycle at);
+                    int64_t prompt_len, int64_t output_len, dam::Cycle at,
+                    int64_t attempt = 0);
     void reqAdmitted(int64_t id, int64_t cached_prefix_tokens,
                      dam::Cycle at);
     void reqFirstToken(int64_t id, dam::Cycle at);
     void reqFinished(int64_t id, dam::Cycle at);
+    /** The request's replica crashed under it at @p at. */
+    void reqFailed(int64_t id, dam::Cycle at);
+    /** The admission policy dropped the request at @p at. */
+    void reqShed(int64_t id, dam::Cycle at);
+
+    // ---- fault hooks (engine-global cycles) --------------------------
+    /** Replica crash processed at @p at (scripted cycle @p fail_at;
+     *  @p recover_at 0 = permanent). */
+    void faultDown(dam::Cycle at, dam::Cycle fail_at, dam::Cycle recover_at);
+    /** Replica back up at @p at. */
+    void faultUp(dam::Cycle at);
 
     // ---- counters ----------------------------------------------------
     CounterRegistry& counters() { return counters_; }
@@ -186,6 +210,8 @@ class TraceSink
 
     // Pre-interned hook names (stable ids, interned in ctor).
     uint32_t nameArrive_, nameAdmit_, nameFirstToken_, nameFinish_;
+    uint32_t nameRetry_, nameFailed_, nameShed_, nameFaultDown_,
+        nameFaultUp_;
 };
 
 } // namespace step::obs

@@ -19,17 +19,18 @@ ContinuousBatcher::enqueue(Request* r)
 {
     STEP_ASSERT(r->state == ReqState::Queued,
                 "request " << r->id << " enqueued in non-Queued state");
-    int64_t need = r->kvReservationTokens() * cfg_.kvBytesPerToken;
-    STEP_ASSERT(need <= cfg_.kvBudgetBytes,
-                "request " << r->id << " can never fit the KV budget ("
-                           << need << " > " << cfg_.kvBudgetBytes << " B)");
+    // Oversized requests (worst-case reservation > whole budget) are
+    // accepted into the queue: admission sheds them under a policy, or
+    // the engine raises a StallError with the diagnostic — structured
+    // outcomes where a fatal assert used to live.
     waiting_.push_back(r);
 }
 
-std::vector<Request*>
-ContinuousBatcher::admit()
+ContinuousBatcher::AdmitResult
+ContinuousBatcher::admit(const AdmissionPolicy* policy,
+                         const AdmissionContext& ctx)
 {
-    std::vector<Request*> admitted;
+    AdmitResult out;
     while (!waiting_.empty() &&
            static_cast<int64_t>(running_.size()) < cfg_.maxRunning) {
         Request* r = waiting_.front();
@@ -39,6 +40,22 @@ ContinuousBatcher::admit()
         if (cache_)
             r->cachedPrefixTokens = cache_->matchTokens(*r);
         int64_t need = r->kvReservationTokens() * cfg_.kvBytesPerToken;
+        if (policy) {
+            AdmissionContext c = ctx;
+            c.runningRequests = static_cast<int64_t>(running_.size());
+            c.waitingRequests = waitingCount();
+            c.kvBudgetBytes = cfg_.kvBudgetBytes;
+            c.kvReservedBytes = kvReserved_;
+            // A request that can never fit the budget blocks the line
+            // forever; shed it structurally whenever shedding is on.
+            if (need > cfg_.kvBudgetBytes || policy->shouldShed(*r, c)) {
+                waiting_.pop_front();
+                r->cachedPrefixTokens = 0; // no pin was taken
+                r->state = ReqState::Shed;
+                out.shed.push_back(r);
+                continue;
+            }
+        }
         if (kvReserved_ + need > cfg_.kvBudgetBytes) {
             // Not admitted: the match is re-done (and may differ) on the
             // next attempt, so leave no stale state behind.
@@ -53,9 +70,17 @@ ContinuousBatcher::admit()
         }
         r->state = ReqState::Prefilling;
         running_.push_back(r);
-        admitted.push_back(r);
+        out.admitted.push_back(r);
     }
-    return admitted;
+    return out;
+}
+
+std::vector<Request*>
+ContinuousBatcher::drainWaiting()
+{
+    std::vector<Request*> out(waiting_.begin(), waiting_.end());
+    waiting_.clear();
+    return out;
 }
 
 void

@@ -17,6 +17,7 @@
 #include <deque>
 #include <vector>
 
+#include "runtime/faults.hh"
 #include "runtime/request.hh"
 
 namespace step::runtime {
@@ -46,23 +47,53 @@ class ContinuousBatcher
      */
     void attachPrefixCache(PrefixCache* cache) { cache_ = cache; }
 
-    /** A request has arrived; it joins the admission queue. */
+    /**
+     * A request has arrived; it joins the admission queue. A request
+     * whose worst-case reservation exceeds the whole KV budget is
+     * accepted here but can never admit: with an admission policy
+     * attached it is shed at the next admission round, without one the
+     * engine raises a StallError carrying the diagnostic — either way a
+     * structured outcome instead of the former fatal assert.
+     */
     void enqueue(Request* r);
+
+    /** Outcome of one admission round. */
+    struct AdmitResult
+    {
+        std::vector<Request*> admitted;
+        /** Dropped by the admission policy (state set to Shed; the
+         *  caller stamps finishedAt and accounts them). */
+        std::vector<Request*> shed;
+    };
 
     /**
      * Admit waiting requests in FIFO order while the KV reservation and
      * batch cap allow; head-of-line blocking is deliberate (keeps
      * admission fair and deterministic). Admitted requests move to
      * Prefilling (with cachedPrefixTokens and the prefilledTokens
-     * baseline set from the prefix cache); the newly admitted set is
-     * returned.
+     * baseline set from the prefix cache). With @p policy attached,
+     * each request is offered to it (post-cache-match, so the policy
+     * sees the true uncached suffix) before the budget check; requests
+     * it sheds — plus any request that could never fit the budget at
+     * all — leave the queue as Shed instead of blocking the line.
      */
-    std::vector<Request*> admit();
+    AdmitResult admit(const AdmissionPolicy* policy = nullptr,
+                      const AdmissionContext& ctx = {});
 
-    /** Release a finished request's KV reservation and drop it. */
+    /** Release a finished or failed request's KV reservation and drop
+     *  it from the running set. */
     void release(Request* r);
 
+    /**
+     * Remove and return every waiting request (admission-queue drop on
+     * replica crash: the caller marks them failed and releases any
+     * cache state). The returned pointers are in FIFO order.
+     */
+    std::vector<Request*> drainWaiting();
+
     const std::vector<Request*>& running() const { return running_; }
+    /** The admission queue, head first (stall diagnostics). */
+    const std::deque<Request*>& waiting() const { return waiting_; }
     int64_t waitingCount() const
     {
         return static_cast<int64_t>(waiting_.size());

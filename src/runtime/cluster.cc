@@ -5,7 +5,11 @@
 #include <deque>
 #include <exception>
 #include <limits>
+#include <map>
+#include <numeric>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include "support/error.hh"
 #include "support/rng.hh"
@@ -109,7 +113,7 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
       case RouteKind::RoundRobin:
         for (size_t i = 0; i < reqs.size(); ++i)
             out[i] = static_cast<int64_t>(i % R);
-        return out;
+        break;
 
       case RouteKind::HashAffinity:
         for (size_t i = 0; i < reqs.size(); ++i) {
@@ -119,7 +123,7 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
                   static_cast<uint64_t>(reqs[i].id));
             out[i] = static_cast<int64_t>(h.uniformInt(R));
         }
-        return out;
+        break;
 
       case RouteKind::PrefixAffinity: {
         // Sticky map: dominant-prefix hash -> replica. First sight of a
@@ -151,7 +155,7 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
             load[pick] += reqs[i].promptLen + reqs[i].outputLen;
             out[i] = static_cast<int64_t>(pick);
         }
-        return out;
+        break;
       }
 
       case RouteKind::LeastQueued: {
@@ -209,8 +213,39 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
             s.inflight.push_back({copy, s.busyUntil});
             out[i] = static_cast<int64_t>(pick);
         }
-        return out;
+        break;
       }
+    }
+
+    // Fault-aware remap: a health-checked router never sends a request
+    // into a replica it knows is down at the arrival cycle. Such
+    // requests move to the least-loaded alive replica (assigned
+    // worst-case tokens, ties to the lowest index); if *no* replica is
+    // alive the assignment stands and the dead replica refuses the
+    // request on arrival (a crash mid-flight is still the engine's to
+    // discover — the router only sees health at admission time).
+    if (!cfg_.faults.empty()) {
+        std::vector<int64_t> load(R, 0);
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            auto r = static_cast<size_t>(out[i]);
+            if (!cfg_.faults.aliveAt(static_cast<int64_t>(r),
+                                     reqs[i].arrival)) {
+                int64_t best = -1;
+                for (size_t c = 0; c < R; ++c) {
+                    if (!cfg_.faults.aliveAt(static_cast<int64_t>(c),
+                                             reqs[i].arrival))
+                        continue;
+                    if (best < 0 ||
+                        load[c] < load[static_cast<size_t>(best)])
+                        best = static_cast<int64_t>(c);
+                }
+                if (best >= 0) {
+                    r = static_cast<size_t>(best);
+                    out[i] = best;
+                }
+            }
+            load[r] += reqs[i].promptLen + reqs[i].outputLen;
+        }
     }
     return out;
 }
@@ -226,44 +261,57 @@ ServingCluster::run(std::vector<Request>& reqs)
 
     const auto R = static_cast<size_t>(cfg_.replicas);
     const std::vector<int64_t> assignment = routeTrace(reqs);
+    const bool have_faults = !cfg_.faults.empty();
 
-    // Shard the trace. Each shard keeps trace order, so it stays sorted
-    // by arrival; origin[] maps shard slots back to the caller's vector.
-    std::vector<std::vector<Request>> shard(R);
-    std::vector<std::vector<size_t>> origin(R);
-    for (size_t i = 0; i < reqs.size(); ++i) {
-        auto r = static_cast<size_t>(assignment[i]);
-        shard[r].push_back(reqs[i]);
-        origin[r].push_back(i);
-    }
-
-    // Per-replica seeds are derived on the coordinating thread before
-    // any worker exists — the one ordering the global-seed contract
-    // requires (see rng.hh).
+    // Per-replica fault timelines and seeds, derived on the coordinating
+    // thread before any worker exists — the one ordering the global-seed
+    // contract requires (see rng.hh).
+    std::vector<ReplicaFaultTimeline> plans(R);
+    if (have_faults)
+        for (size_t r = 0; r < R; ++r)
+            plans[r] = cfg_.faults.forReplica(static_cast<int64_t>(r));
     std::vector<uint64_t> seeds(R);
     for (size_t r = 0; r < R; ++r)
         seeds[r] = deriveSeed(static_cast<uint64_t>(r));
 
+    // Shard the trace into *pristine* per-replica inputs. Each shard
+    // keeps trace order, so it starts sorted by arrival; meta[] maps
+    // shard slots back to the caller's vector and records which retry
+    // incarnation the slot is. Failover waves append incarnations here
+    // and re-simulate from a fresh working copy, so every (re-)run of a
+    // replica replays the identical deterministic input.
+    struct Incarnation
+    {
+        size_t orig;     ///< index into the caller's trace
+        int64_t attempt; ///< 0 = original submission
+    };
+    std::vector<std::vector<Request>> shard(R);
+    std::vector<std::vector<Incarnation>> meta(R);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        auto r = static_cast<size_t>(assignment[i]);
+        shard[r].push_back(reqs[i]);
+        meta[r].push_back({i, reqs[i].attempt});
+    }
+
     int64_t threads = cfg_.threads > 0 ? cfg_.threads : cfg_.replicas;
     threads = std::min(threads, cfg_.replicas);
-    const auto T = static_cast<size_t>(threads);
 
     std::vector<ReplicaResult> results(R);
-    std::vector<std::exception_ptr> errors(T);
+    std::vector<std::vector<Request>> work(R);
 
-    // One sink per replica, created before any worker exists: replica
-    // r's worker is the sink's only writer, and exporting the vector in
-    // index order erases the thread count from the output bytes.
+    // One sink per replica; a re-simulated replica gets a fresh sink so
+    // the exported trace describes its final timeline only. Sinks are
+    // (re)created before a wave's workers spawn: replica r's worker is
+    // its sink's only writer, so recording needs no locks, and exporting
+    // in index order erases the thread count from the output bytes.
     std::vector<std::unique_ptr<obs::TraceSink>> traces;
-    if (cfg_.trace.level != obs::TraceLevel::Off) {
-        traces.reserve(R);
-        for (size_t r = 0; r < R; ++r)
-            traces.push_back(std::make_unique<obs::TraceSink>(cfg_.trace));
-    }
+    if (cfg_.trace.level != obs::TraceLevel::Off)
+        traces.resize(R);
 
     auto run_replica = [&](size_t r) {
         EngineConfig ec = cfg_.engine;
         ec.seed = seeds[r];
+        ec.faults = plans[r];
         ServingEngine engine(ec, policy_);
         if (!traces.empty())
             engine.attachTrace(traces[r].get());
@@ -271,45 +319,210 @@ ServingCluster::run(std::vector<Request>& reqs)
         out.replica = static_cast<int64_t>(r);
         out.seed = seeds[r];
         out.assignedRequests = static_cast<int64_t>(shard[r].size());
-        out.result = engine.run(shard[r]);
+        out.result = engine.run(work[r]);
     };
-    // Replica r runs on worker r mod T; each worker walks its replicas
-    // in increasing index. Which thread hosts a replica never changes
+    // Simulate the listed replicas on the worker pool. Replica todo[i]
+    // runs on worker i mod T; which thread hosts a replica never changes
     // what the replica computes (shared-nothing), only where.
-    auto worker = [&](size_t t) {
-        try {
-            for (size_t r = t; r < R; r += T)
-                run_replica(r);
-        } catch (...) {
-            errors[t] = std::current_exception();
+    auto run_wave = [&](const std::vector<size_t>& todo) {
+        for (size_t r : todo) {
+            work[r] = shard[r];
+            if (!traces.empty())
+                traces[r] = std::make_unique<obs::TraceSink>(cfg_.trace);
         }
+        const size_t T = static_cast<size_t>(std::min<int64_t>(
+            threads, static_cast<int64_t>(todo.size())));
+        std::vector<std::exception_ptr> errors(std::max<size_t>(1, T));
+        auto worker = [&](size_t t) {
+            try {
+                for (size_t i = t; i < todo.size(); i += T)
+                    run_replica(todo[i]);
+            } catch (...) {
+                errors[t] = std::current_exception();
+            }
+        };
+        if (T <= 1) {
+            worker(0);
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(T);
+            for (size_t t = 0; t < T; ++t)
+                pool.emplace_back(worker, t);
+            for (std::thread& th : pool)
+                th.join();
+        }
+        for (std::exception_ptr& e : errors)
+            if (e)
+                std::rethrow_exception(e);
     };
 
-    if (T == 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(T);
-        for (size_t t = 0; t < T; ++t)
-            pool.emplace_back(worker, t);
-        for (std::thread& th : pool)
-            th.join();
-    }
-    for (std::exception_ptr& e : errors)
-        if (e)
-            std::rethrow_exception(e);
+    // ---- failover waves ----------------------------------------------
+    // Wave 0 simulates every replica. Each later wave collects the crash
+    // casualties no earlier wave decided, offers them to the retry
+    // policy in (fail-cycle, request, attempt) order, appends granted
+    // retries to the least-loaded replica alive at the re-arrival, and
+    // re-simulates only the changed replicas. Converges because each
+    // (request, attempt) pair is decided exactly once and the policy
+    // bounds attempts.
+    static const ExponentialBackoffRetry default_retry;
+    const RetryPolicy* retry = cfg_.retry ? cfg_.retry : &default_retry;
+    std::set<std::pair<size_t, int64_t>> decided;
+    // (orig, attempt) -> source replica whose summary reclassifies the
+    // failure as a retry.
+    std::map<std::pair<size_t, int64_t>, size_t> issued;
+    std::vector<int64_t> load(R, 0);
+    for (size_t i = 0; i < reqs.size(); ++i)
+        load[static_cast<size_t>(assignment[i])] +=
+            reqs[i].promptLen + reqs[i].outputLen;
+    int64_t retries_issued = 0;
 
-    // Reflect per-replica request state back into the caller's trace,
-    // preserving the single-engine run() contract.
+    std::vector<size_t> todo(R);
+    std::iota(todo.begin(), todo.end(), size_t{0});
+    for (int wave = 0; !todo.empty(); ++wave) {
+        STEP_ASSERT(wave < 1024, "failover waves did not converge");
+        run_wave(todo);
+        todo.clear();
+        if (!have_faults)
+            break;
+
+        struct FailRec
+        {
+            dam::Cycle at;
+            size_t orig;
+            int64_t attempt;
+            size_t replica, slot;
+        };
+        std::vector<FailRec> fails;
+        for (size_t r = 0; r < R; ++r)
+            for (size_t k = 0; k < work[r].size(); ++k) {
+                const Request& q = work[r][k];
+                if (q.state != ReqState::Failed)
+                    continue;
+                const Incarnation& m = meta[r][k];
+                if (decided.count({m.orig, m.attempt}))
+                    continue;
+                fails.push_back({q.finishedAt, m.orig, m.attempt, r, k});
+            }
+        std::sort(fails.begin(), fails.end(),
+                  [](const FailRec& a, const FailRec& b) {
+                      if (a.at != b.at)
+                          return a.at < b.at;
+                      if (a.orig != b.orig)
+                          return a.orig < b.orig;
+                      return a.attempt < b.attempt;
+                  });
+
+        std::vector<char> dirty(R, 0);
+        for (const FailRec& f : fails) {
+            const std::pair<size_t, int64_t> key{f.orig, f.attempt};
+            decided.insert(key);
+            const std::optional<dam::Cycle> re = retry->reschedule(
+                work[f.replica][f.slot], f.attempt + 1, f.at);
+            if (!re)
+                continue; // policy says permanent (attempts / deadline)
+            // Least-loaded replica alive at the re-arrival cycle; with
+            // none alive the retry could only be refused again, so the
+            // failure stands.
+            int64_t best = -1;
+            for (size_t c = 0; c < R; ++c) {
+                if (!cfg_.faults.aliveAt(static_cast<int64_t>(c), *re))
+                    continue;
+                if (best < 0 ||
+                    load[c] < load[static_cast<size_t>(best)])
+                    best = static_cast<int64_t>(c);
+            }
+            if (best < 0)
+                continue;
+            const auto tgt = static_cast<size_t>(best);
+            issued.emplace(key, f.replica);
+            Request inc = reqs[f.orig]; // pristine: waves never mutate
+            inc.arrival = *re;
+            inc.attempt = f.attempt + 1;
+            shard[tgt].push_back(inc);
+            meta[tgt].push_back({f.orig, inc.attempt});
+            load[tgt] += inc.promptLen + inc.outputLen;
+            ++retries_issued;
+            dirty[tgt] = 1;
+        }
+
+        // Re-sort the changed shards by arrival (lockstep with meta;
+        // full key keeps the order independent of the append sequence).
+        for (size_t r = 0; r < R; ++r) {
+            if (!dirty[r])
+                continue;
+            std::vector<size_t> idx(shard[r].size());
+            std::iota(idx.begin(), idx.end(), size_t{0});
+            std::sort(idx.begin(), idx.end(),
+                      [&](size_t a, size_t b) {
+                          const Request& qa = shard[r][a];
+                          const Request& qb = shard[r][b];
+                          if (qa.arrival != qb.arrival)
+                              return qa.arrival < qb.arrival;
+                          if (qa.id != qb.id)
+                              return qa.id < qb.id;
+                          return meta[r][a].attempt < meta[r][b].attempt;
+                      });
+            std::vector<Request> s2;
+            std::vector<Incarnation> m2;
+            s2.reserve(idx.size());
+            m2.reserve(idx.size());
+            for (size_t k : idx) {
+                s2.push_back(shard[r][k]);
+                m2.push_back(meta[r][k]);
+            }
+            shard[r] = std::move(s2);
+            meta[r] = std::move(m2);
+            todo.push_back(r);
+        }
+    }
+
+    // ---- reflect outcomes back to the caller -------------------------
+    // Every original request reports its *final* incarnation (highest
+    // attempt), with the original arrival restored so the caller's trace
+    // stays sorted; superseded incarnations must all have failed (the
+    // retry bookkeeping invariant).
+    struct Final
+    {
+        int64_t attempt = -1;
+        size_t replica = 0, slot = 0;
+    };
+    std::vector<Final> fin(reqs.size());
     for (size_t r = 0; r < R; ++r)
-        for (size_t k = 0; k < shard[r].size(); ++k)
-            reqs[origin[r][k]] = shard[r][k];
+        for (size_t k = 0; k < work[r].size(); ++k) {
+            const Incarnation& m = meta[r][k];
+            if (m.attempt > fin[m.orig].attempt)
+                fin[m.orig] = {m.attempt, r, k};
+        }
+    for (size_t r = 0; r < R; ++r)
+        for (size_t k = 0; k < work[r].size(); ++k) {
+            const Incarnation& m = meta[r][k];
+            if (m.attempt < fin[m.orig].attempt)
+                STEP_ASSERT(work[r][k].state == ReqState::Failed,
+                            "superseded incarnation of request "
+                                << work[r][k].id
+                                << " did not stay failed");
+        }
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        const dam::Cycle arrival = reqs[i].arrival;
+        reqs[i] = work[fin[i].replica][fin[i].slot];
+        reqs[i].arrival = arrival;
+    }
+
+    // A failure that produced a retry is transparent failover, not a
+    // lost request: reclassify it at the replica that failed it.
+    for (const auto& [key, src] : issued) {
+        ServingSummary& s = results[src].result.summary;
+        s.failedRequests -= 1;
+        s.retriedRequests += 1;
+        refreshAvailability(s);
+    }
 
     // Merge in replica-index order: the aggregate depends only on the
     // per-replica results, never on worker scheduling.
     ClusterResult out;
     out.replicas = std::move(results);
     out.traces = std::move(traces);
+    out.retriesIssued = retries_issued;
     std::vector<ServingSummary> parts;
     parts.reserve(R);
     for (const ReplicaResult& rr : out.replicas) {

@@ -77,12 +77,33 @@ struct ClusterConfig
     int64_t threads = 0;
     RouteKind routing = RouteKind::RoundRobin;
     /**
+     * Cluster-wide fault plan (empty = fault-free, the default — run()
+     * is then bit-identical to a fault-less build). Each replica
+     * receives its own timeline (FaultPlan::forReplica); the engine
+     * template's `faults` field is ignored, like its seed. The router
+     * is fault-aware: a request arriving while its chosen replica is
+     * down is re-routed to the least-loaded alive replica before any
+     * simulation runs (a health-checked load balancer), and requests a
+     * crash kills in flight are re-routed through the retry policy.
+     */
+    FaultPlan faults;
+    /**
+     * Failover policy for requests a replica crash killed (not owned;
+     * null = a default ExponentialBackoffRetry). Consulted once per
+     * failed incarnation; a granted retry re-arrives at the policy's
+     * cycle on the least-loaded replica alive then, with
+     * Request::attempt incremented. See RetryPolicy for the
+     * never-retry-past-deadline contract.
+     */
+    const RetryPolicy* retry = nullptr;
+    /**
      * Tracing (level Off = disabled). When enabled, run() creates one
      * TraceSink per replica *before* workers spawn — each sink is then
      * written by exactly one worker, so recording needs no locks — and
      * hands them back in ClusterResult::traces, replica-index order.
      * Exporting that vector yields bytes independent of the thread
-     * count.
+     * count. Replicas re-simulated by a failover wave get a fresh sink,
+     * so exported traces always describe the final timeline.
      */
     obs::TraceOptions trace;
 };
@@ -104,6 +125,8 @@ struct ClusterResult
     UtilizationTimeline timeline;
     std::vector<ReplicaResult> replicas;
     int64_t totalIterations = 0;
+    /** Retry incarnations the failover waves issued (0 without faults). */
+    int64_t retriesIssued = 0;
     /** Per-replica trace sinks (replica-index order); empty when
      *  ClusterConfig::trace.level is Off. unique_ptr keeps the sinks'
      *  addresses stable across the result's moves. */
@@ -131,14 +154,25 @@ class ServingCluster
      * Route @p reqs (sorted by arrival) across the replicas, run every
      * replica's simulation to completion on the worker pool, and merge.
      * Requests are mutated in place exactly as ServingEngine::run would
-     * (states, TTFT/finish stamps). Deterministic for fixed (config,
-     * policy, trace, global seed), independent of the thread count.
+     * (states, TTFT/finish stamps). With a fault plan, failover runs in
+     * deterministic waves: replicas simulate, crash casualties are
+     * collected in (fail-cycle, request) order and offered to the retry
+     * policy, granted retries are appended to their target replica's
+     * shard, and only the changed replicas re-simulate — until no new
+     * failure appears. A request that failed but was retried reports
+     * the final incarnation's outcome to the caller (original arrival
+     * kept, Request::attempt telling the story); its source replica's
+     * summary reclassifies it failed -> retried. Deterministic for
+     * fixed (config, policy, trace, global seed), independent of the
+     * thread count.
      */
     ClusterResult run(std::vector<Request>& reqs);
 
     /**
      * The deterministic routing pre-pass alone: replica index per
-     * request, in trace order. Exposed for tests and routing studies.
+     * request, in trace order. Includes the fault-aware remap (requests
+     * arriving into a down replica move to the least-loaded alive one).
+     * Exposed for tests and routing studies.
      */
     std::vector<int64_t> routeTrace(const std::vector<Request>& reqs) const;
 

@@ -35,6 +35,26 @@ struct EngineCounters
     {}
 };
 
+/**
+ * Fault-tier counters, registered only when the run can actually use
+ * them (faults, an admission policy, or deadlines present) — a
+ * fault-free, deadline-less traced run keeps its counter set, and so
+ * its exported bytes, identical to earlier builds.
+ */
+struct FaultCounters
+{
+    obs::CounterRegistry::Handle requestsFailed, requestsRetried,
+        requestsShed, deadlineMisses, replicaFaults;
+
+    explicit FaultCounters(obs::CounterRegistry& c)
+        : requestsFailed(c.monotonic("requests_failed")),
+          requestsRetried(c.monotonic("requests_retried")),
+          requestsShed(c.monotonic("requests_shed")),
+          deadlineMisses(c.monotonic("deadline_misses")),
+          replicaFaults(c.monotonic("replica_faults"))
+    {}
+};
+
 } // namespace
 
 EngineConfig::EngineConfig() : model(servingSimConfig()) {}
@@ -98,10 +118,25 @@ ServingEngine::run(std::vector<Request>& reqs)
     if (trace_)
         ctr = std::make_unique<EngineCounters>(trace_->counters());
 
+    // ---- fault tier ---------------------------------------------------
+    const ReplicaFaultTimeline& faults = cfg_.faults;
+    const bool have_faults = !faults.empty();
+    bool have_deadlines = false;
+    for (const Request& r : reqs)
+        if (r.deadlineAt != 0) {
+            have_deadlines = true;
+            break;
+        }
+    std::unique_ptr<FaultCounters> fctr;
+    if (trace_ && (have_faults || cfg_.admission || have_deadlines))
+        fctr = std::make_unique<FaultCounters>(trace_->counters());
+    // Stats of caches dropped by crashes, folded into the summary tail.
+    PrefixCacheStats lostCacheStats;
+
     // Request completion: cache the full prompt+output stream (the next
     // turn of the session prefixes it), drop the admission pin, free the
     // KV reservation.
-    int64_t finished = 0;
+    int64_t terminal = 0;
     auto finish = [&](Request* r, dam::Cycle at) {
         r->state = ReqState::Finished;
         r->finishedAt = at;
@@ -111,9 +146,24 @@ ServingEngine::run(std::vector<Request>& reqs)
             cache->release(*r);
         }
         batcher.release(r);
-        ++finished;
-        if (trace_) [[unlikely]]
+        ++terminal;
+        if (trace_) [[unlikely]] {
             trace_->reqFinished(r->id, at);
+            if (fctr && r->deadlineAt != 0 && at > r->deadlineAt)
+                trace_->counters().add(fctr->deadlineMisses, 1);
+        }
+    };
+    // Terminal failure (replica crash): KV/cache bookkeeping is the
+    // *caller's* job — a crash releases everything wholesale first.
+    auto failReq = [&](Request* r, dam::Cycle at) {
+        r->state = ReqState::Failed;
+        r->finishedAt = at;
+        ++terminal;
+        if (trace_) [[unlikely]] {
+            trace_->reqFailed(r->id, at);
+            if (fctr)
+                trace_->counters().add(fctr->requestsFailed, 1);
+        }
     };
 
     // Iteration-graph parameters shared across iterations; the per-
@@ -137,30 +187,177 @@ ServingEngine::run(std::vector<Request>& reqs)
 
     dam::Cycle now = 0;
     size_t next_arrival = 0;
+    size_t down_idx = 0; ///< next unprocessed crash window
     const auto total = static_cast<int64_t>(reqs.size());
 
-    while (finished < total) {
-        STEP_ASSERT(res.iterations < kMaxIterations,
-                    "serving engine is not making progress");
-
-        // ---- admit everything that has arrived by `now` --------------
-        while (next_arrival < reqs.size() &&
-               reqs[next_arrival].arrival <= now) {
-            Request& r = reqs[next_arrival++];
-            if (trace_) [[unlikely]]
-                trace_->reqArrived(r.id, r.sessionId, r.turn, r.promptLen,
-                                   r.outputLen, r.arrival);
-            batcher.enqueue(&r);
+    // Structured stall reporting: dump what was blocked and what held
+    // the channels (KV reservations, cache pins), then unwind.
+    auto buildStall = [&](std::string reason) {
+        StallDiagnostic d;
+        d.reason = std::move(reason);
+        d.now = now;
+        d.iterations = res.iterations;
+        d.runningRequests = static_cast<int64_t>(batcher.running().size());
+        d.kvReservedBytes = batcher.kvBytesReserved();
+        d.kvBudgetBytes = batcher.kvBudgetBytes();
+        if (cache) {
+            d.cachePinnedRequests = cache->pinnedRequests();
+            d.cacheOccupancyTokens = cache->occupancyTokens();
         }
-        const std::vector<Request*> admitted = batcher.admit();
+        for (const Request* r : batcher.waiting())
+            d.blocked.push_back({r->id, r->promptLen, r->outputLen,
+                                 r->kvReservationTokens() *
+                                     cfg_.batcher.kvBytesPerToken,
+                                 r->arrival});
+        return StallError(std::move(d));
+    };
+
+    while (terminal < total) {
+        if (res.iterations >= kMaxIterations)
+            throw buildStall("iteration bound exceeded without progress");
+
+        // ---- deliver arrivals and crash windows in cycle order -------
+        // Both can lie anywhere inside the iteration that just ended, so
+        // they are replayed earliest-first: an arrival before the crash
+        // is enqueued (and then dies with the replica), one after the
+        // recovery enqueues into the restarted replica.
+        while (true) {
+            const bool has_arr = next_arrival < reqs.size() &&
+                                 reqs[next_arrival].arrival <= now;
+            const bool has_crash = down_idx < faults.downs.size() &&
+                                   faults.downs[down_idx].failAt <= now;
+            if (has_arr &&
+                (!has_crash || reqs[next_arrival].arrival <=
+                                   faults.downs[down_idx].failAt)) {
+                Request& r = reqs[next_arrival++];
+                if (trace_) [[unlikely]] {
+                    trace_->reqArrived(r.id, r.sessionId, r.turn,
+                                       r.promptLen, r.outputLen, r.arrival,
+                                       r.attempt);
+                    if (fctr && r.attempt > 0)
+                        trace_->counters().add(fctr->requestsRetried, 1);
+                }
+                if (have_faults && faults.downAt(r.arrival)) {
+                    // Connection refused: the replica was down when the
+                    // request arrived.
+                    failReq(&r, r.arrival);
+                } else {
+                    batcher.enqueue(&r);
+                }
+                continue;
+            }
+            if (has_crash) {
+                const ReplicaFaultTimeline::Down w =
+                    faults.downs[down_idx++];
+                if (trace_) [[unlikely]] {
+                    trace_->faultDown(now, w.failAt, w.recoverAt);
+                    if (fctr)
+                        trace_->counters().add(fctr->replicaFaults, 1);
+                }
+                // Everything in flight or queued dies with the replica;
+                // KV reservations and cache pins are torn down wholesale
+                // (the invariant checks below catch any leak).
+                const std::vector<Request*> running(batcher.running());
+                for (Request* r : running) {
+                    if (cache)
+                        cache->release(*r);
+                    batcher.release(r);
+                    failReq(r, now);
+                }
+                for (Request* r : batcher.drainWaiting()) {
+                    r->cachedPrefixTokens = 0; // no pin was ever taken
+                    failReq(r, now);
+                }
+                STEP_ASSERT(batcher.kvBytesReserved() == 0,
+                            "crash teardown leaked "
+                                << batcher.kvBytesReserved()
+                                << " B of KV reservations");
+                if (cache) {
+                    STEP_ASSERT(cache->pinnedRequests() == 0,
+                                "crash teardown leaked "
+                                    << cache->pinnedRequests()
+                                    << " prefix-cache pins");
+                    // The cache's KV blocks died with the replica:
+                    // fold its stats away and restart cold, so
+                    // re-routed requests re-prefill from scratch.
+                    const PrefixCacheStats& st = cache->stats();
+                    lostCacheStats.lookups += st.lookups;
+                    lostCacheStats.hits += st.hits;
+                    lostCacheStats.tokensSaved += st.tokensSaved;
+                    lostCacheStats.peakOccupancyTokens =
+                        std::max(lostCacheStats.peakOccupancyTokens,
+                                 st.peakOccupancyTokens);
+                    cache = std::make_unique<PrefixCache>(
+                        cfg_.prefixCache);
+                    batcher.attachPrefixCache(cache.get());
+                }
+                if (w.recoverAt == 0) {
+                    // Dead forever: every remaining arrival is refused
+                    // the moment it shows up.
+                    while (next_arrival < reqs.size()) {
+                        Request& r = reqs[next_arrival++];
+                        if (trace_) [[unlikely]]
+                            trace_->reqArrived(r.id, r.sessionId, r.turn,
+                                               r.promptLen, r.outputLen,
+                                               r.arrival, r.attempt);
+                        failReq(&r, r.arrival);
+                    }
+                } else if (w.recoverAt > now) {
+                    now = w.recoverAt;
+                    if (trace_) [[unlikely]]
+                        trace_->faultUp(now);
+                }
+                continue;
+            }
+            break;
+        }
+        if (terminal >= total)
+            break;
+
+        // Slowdown windows scale the bandwidth pool this iteration
+        // splits (>= 2 so the policy can always split something).
+        int64_t eff_bw = cfg_.totalComputeBw;
+        if (have_faults) {
+            const double f = faults.bwFactorAt(now);
+            if (f < 1.0)
+                eff_bw = std::max<int64_t>(
+                    2, static_cast<int64_t>(std::llround(
+                           static_cast<double>(cfg_.totalComputeBw) * f)));
+        }
+
+        AdmissionContext actx;
+        actx.now = now;
+        actx.prefillFlopsPerToken = fpt;
+        actx.totalComputeBw = eff_bw;
+        const ContinuousBatcher::AdmitResult adm =
+            batcher.admit(cfg_.admission, actx);
+        for (Request* r : adm.shed) {
+            r->finishedAt = now;
+            ++terminal;
+            if (trace_) [[unlikely]] {
+                trace_->reqShed(r->id, now);
+                if (fctr)
+                    trace_->counters().add(fctr->requestsShed, 1);
+            }
+        }
         if (trace_) [[unlikely]] {
-            for (const Request* r : admitted)
+            for (const Request* r : adm.admitted)
                 trace_->reqAdmitted(r->id, r->cachedPrefixTokens, now);
         }
 
         if (batcher.running().empty()) {
-            STEP_ASSERT(next_arrival < reqs.size(),
-                        "engine idle with unfinished requests");
+            if (batcher.waitingCount() > 0) {
+                if (!adm.shed.empty())
+                    continue; // shedding made progress; re-admit
+                // Empty machine, nothing admitted: the head can never
+                // fit the KV budget and no policy sheds it.
+                throw buildStall(
+                    "head-of-line request can never be admitted");
+            }
+            if (terminal >= total)
+                break;
+            if (next_arrival >= reqs.size())
+                throw buildStall("idle with unfinished requests");
             now = reqs[next_arrival].arrival;
             continue;
         }
@@ -181,7 +378,7 @@ ServingEngine::run(std::vector<Request>& reqs)
             }
         }
         load.activeDecodes = static_cast<int64_t>(decodes.size());
-        BwSplit split = policy_.split(load, cfg_.totalComputeBw);
+        BwSplit split = policy_.split(load, eff_bw);
 
         // ---- iteration length ---------------------------------------
         dam::Cycle iter_cycles = 0;
@@ -240,6 +437,14 @@ ServingEngine::run(std::vector<Request>& reqs)
                 dam::Cycle gap = reqs[next_arrival].arrival - now;
                 iter_cycles = std::max<dam::Cycle>(
                     1, std::min(iter_cycles, gap));
+            }
+            // Wake exactly on fault-timeline edges too, so crashes and
+            // bandwidth changes land on the cycle they were scripted at.
+            if (have_faults) {
+                const dam::Cycle edge = faults.nextEventAfter(now);
+                if (edge != ReplicaFaultTimeline::kNoEvent && edge > now)
+                    iter_cycles = std::max<dam::Cycle>(
+                        1, std::min(iter_cycles, edge - now));
             }
         }
 
@@ -329,11 +534,29 @@ ServingEngine::run(std::vector<Request>& reqs)
         }
     }
 
+    // Abort-path accounting invariant: every KV reservation and prefix
+    // pin taken during the run — including ones for requests that
+    // failed or were shed — must have been returned.
+    STEP_ASSERT(batcher.kvBytesReserved() == 0,
+                "run ended with " << batcher.kvBytesReserved()
+                                  << " B of KV still reserved");
+    if (cache)
+        STEP_ASSERT(cache->pinnedRequests() == 0,
+                    "run ended with " << cache->pinnedRequests()
+                                      << " prefix-cache pins held");
+
     res.summary = summarize(reqs, res.timeline.span(), cfg_.slo);
     res.summary.computeUtilization =
         res.timeline.computeUtilization(cfg_.totalComputeBw);
     if (cache) {
-        const PrefixCacheStats& st = cache->stats();
+        // Fold in caches lost to crashes: their lookups/hits happened
+        // even though their content died with the replica.
+        PrefixCacheStats st = cache->stats();
+        st.lookups += lostCacheStats.lookups;
+        st.hits += lostCacheStats.hits;
+        st.tokensSaved += lostCacheStats.tokensSaved;
+        st.peakOccupancyTokens = std::max(
+            st.peakOccupancyTokens, lostCacheStats.peakOccupancyTokens);
         res.summary.prefixLookups = st.lookups;
         res.summary.prefixHits = st.hits;
         res.summary.prefixTokensSaved = st.tokensSaved;

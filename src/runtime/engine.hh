@@ -22,6 +22,7 @@
 
 #include "analysis/utilization.hh"
 #include "runtime/batcher.hh"
+#include "runtime/faults.hh"
 #include "runtime/metrics.hh"
 #include "runtime/policy.hh"
 #include "runtime/prefixcache.hh"
@@ -65,6 +66,27 @@ struct EngineConfig
     uint64_t seed = 42;
 
     /**
+     * This replica's fault timeline (empty = fault-free, the default —
+     * the engine is then bit-identical to a fault-less build). A crash
+     * fails every in-flight and queued request, releases their KV
+     * reservations and prefix-cache pins, and drops the cache (its KV
+     * content died with the replica); arrivals during downtime are
+     * refused on arrival. Slowdown windows scale totalComputeBw by
+     * their factor. Faults take effect at iteration boundaries (the
+     * engine's event granularity); analytic prefill iterations are
+     * clamped to the next timeline edge so bandwidth changes land on
+     * exact cycles.
+     */
+    ReplicaFaultTimeline faults;
+    /**
+     * Admission/shedding policy consulted per waiting request at every
+     * admission round (not owned; may be null = never shed). See
+     * AdmissionPolicy; with one attached, requests that could never fit
+     * the KV budget are shed instead of stalling the engine.
+     */
+    const AdmissionPolicy* admission = nullptr;
+
+    /**
      * Recycle one arena-backed decoder graph across batching iterations
      * instead of rebuilding from the heap each time (see
      * Graph::recycle). Metrics are identical either way; the rebuild
@@ -98,8 +120,12 @@ class ServingEngine
 
     /**
      * Serve @p reqs (mutated in place: states, TTFT/finish stamps) until
-     * every request finishes. Deterministic for fixed (config, policy,
-     * trace).
+     * every request reaches a terminal state — Finished, or Failed/Shed
+     * under the fault tier. Deterministic for fixed (config, policy,
+     * trace). Throws StallError (with a scheduler-state diagnostic)
+     * when no admission progress is possible, e.g. a head-of-line
+     * request that can never fit the KV budget with no admission policy
+     * attached to shed it.
      */
     EngineResult run(std::vector<Request>& reqs);
 

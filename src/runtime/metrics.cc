@@ -46,6 +46,7 @@ finalizeDerivedStats(ServingSummary& s)
     s.tpotP99 = percentileSorted(tpot, 99.0);
     s.tpotMean = mean(tpot);
     refreshPrefixDerivedStats(s);
+    refreshAvailability(s);
     if (s.makespan > 0) {
         double kcycles = static_cast<double>(s.makespan) / 1000.0;
         s.throughputTokensPerKcycle =
@@ -56,6 +57,17 @@ finalizeDerivedStats(ServingSummary& s)
 }
 
 } // namespace
+
+void
+refreshAvailability(ServingSummary& s)
+{
+    const int64_t terminal =
+        s.completed + s.failedRequests + s.shedRequests;
+    s.availability =
+        terminal > 0 ? static_cast<double>(s.completed) /
+                           static_cast<double>(terminal)
+                     : 1.0;
+}
 
 void
 refreshPrefixDerivedStats(ServingSummary& s)
@@ -79,8 +91,20 @@ summarize(const std::vector<Request>& reqs, dam::Cycle makespan,
     ServingSummary s;
     s.makespan = makespan;
     for (const Request& r : reqs) {
+        if (r.state == ReqState::Failed) {
+            // The engine sees every crash casualty as failed; a cluster
+            // reclassifies the retried ones (see ServingCluster::run).
+            ++s.failedRequests;
+            continue;
+        }
+        if (r.state == ReqState::Shed) {
+            ++s.shedRequests;
+            continue;
+        }
         if (!r.done())
             continue;
+        if (r.deadlineAt != 0 && r.finishedAt > r.deadlineAt)
+            ++s.deadlineMisses;
         ++s.completed;
         s.generatedTokens += r.generated;
         s.promptTokens += r.promptLen;
@@ -103,6 +127,10 @@ mergeSummaries(const std::vector<ServingSummary>& parts)
     for (const ServingSummary& p : parts) {
         m.completed += p.completed;
         m.generatedTokens += p.generatedTokens;
+        m.failedRequests += p.failedRequests;
+        m.retriedRequests += p.retriedRequests;
+        m.shedRequests += p.shedRequests;
+        m.deadlineMisses += p.deadlineMisses;
         m.sloCompliant += p.sloCompliant;
         m.sloGoodTokens += p.sloGoodTokens;
         m.promptTokens += p.promptTokens;
@@ -158,6 +186,16 @@ printSummary(const ServingSummary& s, std::ostream& os)
        << " tokens/kcycle\n"
        << "compute utilization: " << 100.0 * s.computeUtilization
        << " %\n";
+    // Fault line only when the fault tier did something: a fault-free,
+    // deadline-less run prints bytes identical to earlier builds.
+    if (s.failedRequests + s.retriedRequests + s.shedRequests +
+            s.deadlineMisses >
+        0) {
+        os << "fault tolerance    : " << s.failedRequests << " failed, "
+           << s.retriedRequests << " retried, " << s.shedRequests
+           << " shed, " << s.deadlineMisses << " deadline misses, "
+           << 100.0 * s.availability << " % availability\n";
+    }
     if (s.prefixLookups > 0) {
         os << "prefix cache       : " << 100.0 * s.prefixHitRate
            << " % hit rate (" << s.prefixHits << "/" << s.prefixLookups

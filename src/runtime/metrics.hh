@@ -54,6 +54,25 @@ struct ServingSummary
     /** Useful FLOPs / (provisioned bandwidth * makespan); engine-filled. */
     double computeUtilization = 0;
 
+    // ---- fault-tolerance metrics (all 0 on a fault-free run) ---------
+    /** Requests that ended Failed (replica crash) and were not retried
+     *  to completion elsewhere. */
+    int64_t failedRequests = 0;
+    /** Failed submissions that a RetryPolicy re-submitted (counted at
+     *  the failing replica; the retry incarnation is accounted wherever
+     *  it lands). */
+    int64_t retriedRequests = 0;
+    /** Requests dropped by the admission policy. */
+    int64_t shedRequests = 0;
+    /** Completed requests that finished after their deadline. */
+    int64_t deadlineMisses = 0;
+    /**
+     * completed / (completed + failed + shed); derived, 1.0 when no
+     * request reached a terminal state (never NaN). Retried-and-
+     * completed requests count once, as completions.
+     */
+    double availability = 1.0;
+
     // ---- prefix-cache metrics (all 0 when the cache is disabled) -----
     /** Prompt tokens of completed requests (denominator for savings). */
     int64_t promptTokens = 0;
@@ -98,11 +117,19 @@ struct ServingSummary
 };
 
 /**
- * Aggregate finished requests into a summary. Unfinished requests are
- * ignored (the engine runs traces to completion, so normally none).
+ * Aggregate terminal requests into a summary: Finished requests feed the
+ * latency/throughput statistics (and deadlineMisses when they finish
+ * past a nonzero deadline), Failed and Shed requests only the fault
+ * counters and availability. Non-terminal requests are ignored (the
+ * engine runs traces to a terminal state, so normally none).
  */
 ServingSummary summarize(const std::vector<Request>& reqs,
                          dam::Cycle makespan, const SloConfig& slo);
+
+/** Re-derive availability from the summary's terminal counts (1.0 when
+ *  none — never NaN). Called by summarize/mergeSummaries and by the
+ *  cluster after it reclassifies retried failures. */
+void refreshAvailability(ServingSummary& s);
 
 /**
  * Merge per-replica summaries into one cluster-level summary. Counts,

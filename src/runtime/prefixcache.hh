@@ -106,6 +106,12 @@ class PrefixCache
     const PrefixCacheStats& stats() const { return stats_; }
     int64_t occupancyTokens() const { return stats_.occupancyTokens; }
     int64_t capacityTokens() const { return cfg_.capacityTokens; }
+    /** In-flight pins outstanding (one per acquired request). Must be 0
+     *  after every sim — the abort-path accounting invariant. */
+    int64_t pinnedRequests() const
+    {
+        return static_cast<int64_t>(pinned_.size());
+    }
 
   private:
     struct Node

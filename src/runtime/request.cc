@@ -159,8 +159,13 @@ std::vector<Request>
 generateTrace(const TraceConfig& cfg, uint64_t seed)
 {
     STEP_ASSERT(cfg.arrivalsPerKcycle > 0.0, "non-positive arrival rate");
-    if (cfg.numSessions > 0)
-        return generateConversationTrace(cfg, seed);
+    if (cfg.numSessions > 0) {
+        std::vector<Request> reqs = generateConversationTrace(cfg, seed);
+        if (cfg.deadlineCycles > 0)
+            for (Request& r : reqs)
+                r.deadlineAt = r.arrival + cfg.deadlineCycles;
+        return reqs;
+    }
     STEP_ASSERT(cfg.numRequests > 0, "empty trace requested");
     Rng rng(seed);
     std::vector<Request> reqs;
@@ -184,6 +189,8 @@ generateTrace(const TraceConfig& cfg, uint64_t seed)
                                 cfg.promptMin, cfg.promptMax);
         r.outputLen = sampleLen(rng, cfg.outputMean, cfg.outputSigma,
                                 cfg.outputMin, cfg.outputMax);
+        if (cfg.deadlineCycles > 0)
+            r.deadlineAt = r.arrival + cfg.deadlineCycles;
         reqs.push_back(r);
     }
     return reqs;

@@ -21,6 +21,8 @@ enum class ReqState : uint8_t {
     Prefilling, ///< admitted, prompt being processed
     Decoding,   ///< first token emitted, generating
     Finished,
+    Failed, ///< terminal: its replica crashed (may be retried elsewhere)
+    Shed,   ///< terminal: dropped by the admission policy
 };
 
 /**
@@ -79,6 +81,18 @@ struct Request
      */
     uint64_t affinityKey = 0;
 
+    // ---- service-level constraints -----------------------------------
+    /**
+     * Absolute completion deadline (cycles); 0 = none, the default —
+     * every layer then behaves bit-identically to a deadline-less
+     * build. A deadline-aware admission policy may shed a request whose
+     * deadline is provably unmeetable; a retry policy never re-submits
+     * past it; a request finishing after it counts as a deadline miss.
+     */
+    dam::Cycle deadlineAt = 0;
+    /** Submission attempt (0 = original; bumped per cluster retry). */
+    int64_t attempt = 0;
+
     // ---- dynamic serving state --------------------------------------
     ReqState state = ReqState::Queued;
     int64_t prefilledTokens = 0;
@@ -86,7 +100,8 @@ struct Request
     double prefillFlopsDone = 0.0;
     int64_t generated = 0;
     dam::Cycle firstTokenAt = 0; ///< valid once generated >= 1
-    dam::Cycle finishedAt = 0;   ///< valid once state == Finished
+    /** Terminal stamp: completion, failure, or shed cycle. */
+    dam::Cycle finishedAt = 0;
     /**
      * Prompt tokens already resident in the prefix cache at admission
      * (set by ContinuousBatcher::admit, 0 when the cache is disabled or
@@ -116,6 +131,14 @@ struct Request
     }
 
     bool done() const { return state == ReqState::Finished; }
+
+    /** Finished, failed, or shed: no further service possible here. */
+    bool
+    terminal() const
+    {
+        return state == ReqState::Finished || state == ReqState::Failed ||
+               state == ReqState::Shed;
+    }
 };
 
 /** Synthetic arrival/length workload parameters. */
@@ -149,6 +172,13 @@ struct TraceConfig
     dam::Cycle burstPeriod = 0;
     double burstDuty = 0.3;
     double burstFactor = 4.0;
+
+    /**
+     * Per-request completion deadline, relative to arrival (deadlineAt =
+     * arrival + deadlineCycles); 0, the default, generates deadline-less
+     * traces that are bit-identical to previous builds.
+     */
+    dam::Cycle deadlineCycles = 0;
 
     // ---- conversation model (numSessions > 0 switches it on) ---------
     /**

@@ -59,7 +59,7 @@ TEST(Batcher, AdmitsUnderKvBudgetInFifoOrder)
     for (Request* r : {&r0, &r1, &r2, &r3})
         b.enqueue(r);
 
-    auto admitted = b.admit();
+    auto admitted = b.admit().admitted;
     ASSERT_EQ(admitted.size(), 2u);
     EXPECT_EQ(admitted[0]->id, 0);
     EXPECT_EQ(admitted[1]->id, 1);
@@ -70,9 +70,9 @@ TEST(Batcher, AdmitsUnderKvBudgetInFifoOrder)
     EXPECT_EQ(r2.state, ReqState::Queued);
 
     // Nothing more fits until a release frees the budget.
-    EXPECT_TRUE(b.admit().empty());
+    EXPECT_TRUE(b.admit().admitted.empty());
     b.release(&r0);
-    admitted = b.admit();
+    admitted = b.admit().admitted;
     ASSERT_EQ(admitted.size(), 2u);
     EXPECT_EQ(admitted[0]->id, 2);
     EXPECT_EQ(admitted[1]->id, 3);
@@ -90,18 +90,31 @@ TEST(Batcher, RespectsBatchCap)
             r2 = mkReq(2, 0, 4, 4);
     for (Request* r : {&r0, &r1, &r2})
         b.enqueue(r);
-    EXPECT_EQ(b.admit().size(), 2u);
+    EXPECT_EQ(b.admit().admitted.size(), 2u);
     EXPECT_EQ(b.waitingCount(), 1);
 }
 
-TEST(Batcher, RejectsRequestThatCanNeverFit)
+TEST(Batcher, OversizedRequestStallsWithoutPolicyShedsWithOne)
 {
     BatcherConfig bc;
     bc.kvBudgetBytes = 10 * 256;
     bc.kvBytesPerToken = 256;
     ContinuousBatcher b(bc);
     Request r = mkReq(0, 0, 100, 100);
-    EXPECT_THROW(b.enqueue(&r), PanicError);
+    b.enqueue(&r); // accepted: shedding/stalling is decided at admit
+    // Without a policy the head blocks forever (the engine turns that
+    // into a StallError); with any policy attached the impossible head
+    // is shed structurally.
+    EXPECT_TRUE(b.admit().admitted.empty());
+    EXPECT_EQ(b.waitingCount(), 1);
+    DeadlineAwareShedPolicy shed;
+    auto out = b.admit(&shed);
+    EXPECT_TRUE(out.admitted.empty());
+    ASSERT_EQ(out.shed.size(), 1u);
+    EXPECT_EQ(out.shed[0]->id, 0);
+    EXPECT_EQ(r.state, ReqState::Shed);
+    EXPECT_EQ(b.waitingCount(), 0);
+    EXPECT_EQ(b.kvBytesReserved(), 0);
 }
 
 // ---- trace generation -------------------------------------------------
