@@ -22,9 +22,20 @@
  * against bench/baseline_serving_load.json alongside the hot-path
  * bench) plus the goodput of both policies at the highest load point.
  *
+ * With --mtbf N (a seeded per-point plan) or --fault-plan SPEC (an
+ * explicit plan, parseFaultPlan syntax) the whole sweep runs under
+ * fault injection with the resilience tier's migration, breakers, and
+ * cross-replica prefix reuse enabled — cluster only, so --replicas >= 2
+ * is required. The JSON artifact then additionally records goodput
+ * under faults, availability, and the migration/retry counts at the
+ * highest load point; CI gates it against
+ * bench/baseline_serving_load_faults.json, whose goodput/availability
+ * floors carry an explicit {"gate": "floor"} marker. Without either
+ * flag the sweep's output is byte-identical to the fault-free bench.
+ *
  *   ./bench_serving_load [--seed N] [--requests N] [--replicas N]
  *                        [--threads N] [--routing rr|lq|hash|prefix]
- *                        [--json[=path]]
+ *                        [--mtbf N | --fault-plan SPEC] [--json[=path]]
  */
 #include <algorithm>
 #include <chrono>
@@ -34,6 +45,7 @@
 
 #include "bench_common.hh"
 #include "runtime/cluster.hh"
+#include "runtime/faults.hh"
 #include "support/rng.hh"
 #include "support/table.hh"
 
@@ -48,6 +60,8 @@ main(int argc, char** argv)
     int64_t replicas = 1;
     int64_t threads = 0; // 0 = one per replica
     RouteKind routing = RouteKind::LeastQueued;
+    int64_t mtbf = 0;
+    std::string plan_spec;
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--requests") == 0)
             requests = std::strtoll(argv[i + 1], nullptr, 0);
@@ -55,6 +69,10 @@ main(int argc, char** argv)
             replicas = std::strtoll(argv[i + 1], nullptr, 0);
         if (std::strcmp(argv[i], "--threads") == 0)
             threads = std::strtoll(argv[i + 1], nullptr, 0);
+        if (std::strcmp(argv[i], "--mtbf") == 0)
+            mtbf = std::strtoll(argv[i + 1], nullptr, 0);
+        if (std::strcmp(argv[i], "--fault-plan") == 0)
+            plan_spec = argv[i + 1];
         if (std::strcmp(argv[i], "--routing") == 0) {
             std::string r = argv[i + 1];
             routing = r == "rr"       ? RouteKind::RoundRobin
@@ -67,6 +85,30 @@ main(int argc, char** argv)
         bench::jsonFlagPath(argc, argv, "BENCH_serving_load.json");
     if (replicas < 1)
         replicas = 1;
+    if (mtbf < 0) {
+        std::cerr << "bench_serving_load: --mtbf must be >= 0\n";
+        return 2;
+    }
+    if (mtbf > 0 && !plan_spec.empty()) {
+        std::cerr << "bench_serving_load: --mtbf and --fault-plan are "
+                     "mutually exclusive\n";
+        return 2;
+    }
+    const bool faulty = mtbf > 0 || !plan_spec.empty();
+    if (faulty && replicas < 2) {
+        std::cerr << "bench_serving_load: fault injection needs the "
+                     "cluster path; use --replicas >= 2\n";
+        return 2;
+    }
+    FaultPlan explicit_plan;
+    if (!plan_spec.empty()) {
+        std::string err;
+        if (!parseFaultPlan(plan_spec, &explicit_plan, &err)) {
+            std::cerr << "bench_serving_load: --fault-plan: " << err
+                      << "\n";
+            return 2;
+        }
+    }
     // Mirror the cluster's own clamp so the printed configuration is the
     // one that actually ran.
     threads = std::min(threads > 0 ? threads : replicas, replicas);
@@ -78,6 +120,13 @@ main(int argc, char** argv)
     if (replicas > 1)
         std::cout << ", threads " << threads << ", routing "
                   << routeKindName(routing);
+    if (faulty) {
+        if (plan_spec.empty())
+            std::cout << ", faults mtbf " << mtbf;
+        else
+            std::cout << ", faults plan " << plan_spec;
+        std::cout << ", resilience on";
+    }
     std::cout << ") ===\n\n";
 
     Table t({"arrivals/Mcycle", "policy", "TTFT p50", "TTFT p99",
@@ -86,6 +135,8 @@ main(int argc, char** argv)
     const auto t0 = std::chrono::steady_clock::now();
     int64_t simulated = 0;
     double goodput_static = 0.0, goodput_dynamic = 0.0; // highest rate
+    double availability_hiload = 1.0; // dynamic policy, highest rate
+    int64_t migrations_hiload = 0, retries_hiload = 0;
     for (double rate_per_mcycle : {0.6, 1.0, 1.4, 1.8}) {
         for (bool dynamic : {false, true}) {
             TraceConfig tc;
@@ -119,8 +170,37 @@ main(int argc, char** argv)
                 cc.replicas = replicas;
                 cc.threads = threads;
                 cc.routing = routing;
+                if (faulty) {
+                    if (!plan_spec.empty()) {
+                        cc.faults = explicit_plan;
+                    } else {
+                        // Per-point plan: the horizon tracks this
+                        // rate's trace span so late crashes stay
+                        // possible at every operating point.
+                        FaultPlanConfig fc;
+                        fc.mtbfCycles = mtbf;
+                        fc.mttrCycles = mtbf / 4;
+                        fc.horizonCycles =
+                            reqs.empty() ? 0 : reqs.back().arrival * 2;
+                        cc.faults = generateFaultPlan(fc, replicas,
+                                                      deriveSeed(103));
+                    }
+                    // Goodput under faults is the resilience tier's
+                    // claim, so measure with it on: migration,
+                    // breakers, and cross-replica prefix reuse. The
+                    // autoscaler stays off — parking replicas at the
+                    // low-load points would conflate two effects.
+                    cc.resilience.enabled = true;
+                    cc.resilience.remotePrefix.enabled = true;
+                }
                 ServingCluster cluster(cc, policy);
-                s = cluster.run(reqs).aggregate;
+                ClusterResult cr = cluster.run(reqs);
+                s = cr.aggregate;
+                if (dynamic) {
+                    availability_hiload = s.availability;
+                    migrations_hiload = cr.migrationsIssued;
+                    retries_hiload = cr.retriesIssued;
+                }
             }
             simulated += per_point;
             (dynamic ? goodput_dynamic : goodput_static) =
@@ -145,6 +225,11 @@ main(int argc, char** argv)
             .count();
     std::cout << "\n(TTFT columns in kcycles, TPOT in kcycles/token; "
                  "rate column is per replica)\n";
+    if (faulty)
+        std::cout << "faults @ hi-load (queue-depth): availability "
+                  << availability_hiload << ", " << migrations_hiload
+                  << " migration(s), " << retries_hiload
+                  << " retry/retries\n";
     const double req_per_sec = static_cast<double>(simulated) / wall_s;
     std::cout << "sweep: " << simulated << " requests in " << wall_s
               << " s wall -> " << req_per_sec
@@ -165,6 +250,18 @@ main(int argc, char** argv)
                    "tokens/kcycle");
         report.set("goodput_dynamic_hiload", goodput_dynamic,
                    "tokens/kcycle");
+        if (faulty) {
+            report.set("fault_mode",
+                       plan_spec.empty() ? "mtbf" : "plan");
+            report.set("goodput_faults_hiload", goodput_dynamic,
+                       "tokens/kcycle");
+            report.set("availability_faults", availability_hiload,
+                       "fraction");
+            report.set("migrations_hiload",
+                       static_cast<double>(migrations_hiload), "count");
+            report.set("retries_hiload",
+                       static_cast<double>(retries_hiload), "count");
+        }
         if (!report.writeTo(json_path))
             std::cerr << "failed to write " << json_path << "\n";
         else

@@ -8,9 +8,12 @@ Both files are schema-v2 bench artifacts (see bench_common.hh): numeric
 metrics are objects {"value": N, "unit": "..."}. Every *rate* metric in
 the baseline — any metric whose unit ends in "/sec" — must be present in
 the current artifact and reach at least `threshold` x the baseline
-value. Other metrics (counts, costs, strings) are reported but not
-enforced, so the script never parses by position and never misfires on
-cost metrics where smaller is better.
+value. A baseline entry may also opt into gating explicitly with
+{"gate": "floor"}: that enforces the same higher-is-better floor on a
+non-rate metric (goodput under faults, availability). Other metrics
+(counts, costs, strings) are reported but not enforced, so the script
+never parses by position and never misfires on cost metrics where
+smaller is better.
 
 The committed bench/baseline.json deliberately holds values well below
 a warm developer box (roughly 50-60% of locally measured numbers): CI
@@ -36,10 +39,13 @@ def load(path):
 
 
 def rate_metrics(doc):
+    """Gated metrics: rate units ("*/sec") plus explicit floor markers."""
     out = {}
     for key, entry in doc.items():
-        if (isinstance(entry, dict) and "value" in entry
-                and str(entry.get("unit", "")).endswith("/sec")):
+        if not (isinstance(entry, dict) and "value" in entry):
+            continue
+        if (str(entry.get("unit", "")).endswith("/sec")
+                or entry.get("gate") == "floor"):
             out[key] = (float(entry["value"]), entry["unit"])
     return out
 
@@ -55,31 +61,34 @@ def main():
 
     baseline = rate_metrics(load(args.baseline))
     current_doc = load(args.current)
-    current = rate_metrics(current_doc)
     if not baseline:
-        sys.exit(f"{args.baseline}: no rate metrics (unit '*/sec') found")
+        sys.exit(f"{args.baseline}: no gated metrics (unit '*/sec' or "
+                 f"\"gate\": \"floor\") found")
 
     failures = []
     width = max(len(k) for k in baseline)
     for key, (base_v, unit) in sorted(baseline.items()):
-        if key not in current:
+        # The gate marker lives in the baseline; the current artifact
+        # just reports values, so look the key up in the raw document.
+        entry = current_doc.get(key)
+        if not (isinstance(entry, dict) and "value" in entry):
             failures.append(key)
             print(f"FAIL {key:<{width}}  missing from current artifact")
             continue
-        cur_v, _ = current[key]
+        cur_v = float(entry["value"])
         floor = args.threshold * base_v
         ok = cur_v >= floor
         if not ok:
             failures.append(key)
         print(f"{'ok  ' if ok else 'FAIL'} {key:<{width}}  "
-              f"{cur_v:14.0f} vs floor {floor:14.0f} {unit} "
-              f"(baseline {base_v:.0f})")
+              f"{cur_v:14.6g} vs floor {floor:14.6g} {unit} "
+              f"(baseline {base_v:.6g})")
 
     if failures:
         print(f"\n{len(failures)} metric(s) below "
               f"{args.threshold:.0%} of baseline", file=sys.stderr)
         return 1
-    print(f"\nall {len(baseline)} rate metrics at or above "
+    print(f"\nall {len(baseline)} gated metrics at or above "
           f"{args.threshold:.0%} of baseline")
     return 0
 

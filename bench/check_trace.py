@@ -20,15 +20,23 @@ Checks, in order:
 If a REQUESTS.jsonl is given, each line must parse as JSON and carry a
 consistent lifecycle: arrival <= admitted <= first_token <= finished
 for every phase that was reached (-1 marks unreached phases). Fault
-outcomes are checked too: finished/failed/shed are mutually exclusive,
-failed/shed stamps never precede the arrival (or the first token, when
-one was emitted), shed requests were never admitted, and attempt counts
-are non-negative.
+outcomes are checked too: finished/failed/shed/migrated are mutually
+exclusive, failed/shed/migrated stamps never precede the arrival (or
+the first token, when one was emitted), shed requests were never
+admitted, and attempt counts are non-negative. Retry validation checks
+lineage: an attempt > 0 incarnation (a failover retry or a resilience
+migration handoff) must have a lower-attempt incarnation of the same
+request on record. Stamp ordering across incarnations is deliberately
+NOT enforced — the failover waves re-simulate source replicas, so the
+final timeline's terminal stamp can legitimately land after (or in a
+different state than) the earlier-wave event that spawned the retry.
 
 Fault instants in the trace (fault.replica_down / fault.replica_up /
-req.retry / req.failed / req.shed) must alternate sanely per track: a
-replica_up only after a replica_down, and their totals are reported so
-CI can assert a faulty run actually recorded faults.
+req.retry / req.failed / req.shed / req.migrated) must alternate sanely
+per track: a replica_up only after a replica_down, and their totals are
+reported so CI can assert a faulty run actually recorded faults.
+Resilience decision instants (breaker.*, autoscale.active, req.capped)
+ride along under the generic instant checks.
 
 Exit status 0 on success, 1 on any violation (with a message naming
 the first offending event).
@@ -100,6 +108,7 @@ def check_trace(path):
                 "req.retry",
                 "req.failed",
                 "req.shed",
+                "req.migrated",
             ):
                 fault_counts[name] += 1
             if name == "fault.replica_down":
@@ -143,7 +152,7 @@ def check_trace(path):
 
 def check_jsonl(path):
     n = 0
-    failures = defaultdict(list)
+    attempts_by_rid = defaultdict(list)
     retries = []
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
@@ -179,13 +188,20 @@ def check_jsonl(path):
             failed = r.get("failed", -1)
             shed = r.get("shed", -1)
             finished = r.get("finished", -1)
-            terminal = [s for s in (finished, failed, shed) if s != -1]
+            migrated = r.get("migrated", -1)
+            terminal = [
+                s for s in (finished, failed, shed, migrated) if s != -1
+            ]
             if len(terminal) > 1:
                 fail(
                     f"{path}:{lineno}: more than one terminal state: {r}"
                 )
             arrival = r.get("arrival", -1)
-            for name, s in (("failed", failed), ("shed", shed)):
+            for name, s in (
+                ("failed", failed),
+                ("shed", shed),
+                ("migrated", migrated),
+            ):
                 if s == -1:
                     continue
                 if arrival != -1 and s < arrival:
@@ -205,23 +221,26 @@ def check_jsonl(path):
                 fail(f"{path}:{lineno}: negative attempt count: {r}")
             rid = r.get("id")
             if rid is not None:
-                if failed != -1:
-                    failures[rid].append(failed)
-                if r.get("attempt", 0) > 0:
-                    retries.append((lineno, rid, arrival))
+                attempt = r.get("attempt", 0)
+                attempts_by_rid[rid].append(attempt)
+                if attempt > 0:
+                    retries.append((lineno, rid, attempt))
     if n == 0:
         fail(f"{path}: no request records")
-    # A retry incarnation re-arrives only after some incarnation of the
-    # same request failed: fault <= retry re-arrival.
-    for lineno, rid, arrival in retries:
-        if not any(f <= arrival for f in failures.get(rid, [])):
+    # Lineage: a retry/migration incarnation exists only because some
+    # lower-attempt incarnation of the same request ended early. Stamp
+    # ordering across incarnations is not comparable post-wave (see the
+    # module docstring), but the parent incarnation must be on record.
+    for lineno, rid, attempt in retries:
+        if not any(a < attempt for a in attempts_by_rid.get(rid, [])):
             fail(
-                f"{path}:{lineno}: request {rid} retried (arrival "
-                f"{arrival}) with no earlier failure on record"
+                f"{path}:{lineno}: request {rid} incarnation with "
+                f"attempt {attempt} has no lower-attempt incarnation "
+                f"on record"
             )
     print(
         f"check_trace: {path}: {n} request lifecycles consistent"
-        + (f", {len(retries)} retries each after a failure" if retries else "")
+        + (f", {len(retries)} retries each with a parent incarnation" if retries else "")
     )
 
 

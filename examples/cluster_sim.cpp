@@ -9,7 +9,8 @@
  *
  *   ./cluster_sim [--seed N] [--threads N]
  *                 [--trace out.json] [--trace-level off|request|op|full]
- *                 [--mtbf N | --fault-plan SPEC] [--deadline N]
+ *                 [--mtbf N | --fault-plan SPEC] [--slowdown-mtbf N]
+ *                 [--deadline N] [--resilience]
  *
  * Tracing covers the least-queued-routing run: one sink per replica,
  * merged in replica order, so the output bytes do not depend on
@@ -19,9 +20,20 @@
  * bit-identical to the fault-less build): --mtbf N draws a seeded
  * random crash plan with mean-time-between-failures N cycles (MTTR =
  * N/4) over twice the trace span; --fault-plan takes explicit
- * "REPLICA@FAIL_AT[:RECOVER_AT]" windows, comma-separated; --deadline N
- * stamps every request with an arrival-relative deadline and sheds
- * unmeetable work through DeadlineAwareShedPolicy.
+ * "REPLICA@FAIL_AT[:RECOVER_AT]" windows, comma-separated;
+ * --slowdown-mtbf N adds seeded slowdown windows (mean gap N cycles,
+ * factor 0.5 — deep and long enough to trip the resilience breaker and
+ * its migration drain); --deadline N stamps every request with an
+ * arrival-relative deadline and sheds unmeetable work through
+ * DeadlineAwareShedPolicy.
+ *
+ * --resilience turns on the PR 8 tier (see runtime/resilience.hh):
+ * live migration with modeled KV handoff, circuit-breaker health
+ * routing, cross-replica prefix reuse, the utilization autoscaler, and
+ * the brown-out admission ladder over a priority-tagged trace. The
+ * fault table gains a `migrated` column; an availability accounting
+ * check (completed + failed + shed == submitted) runs on every
+ * configuration, silently when it holds.
  */
 #include <cstdlib>
 #include <iostream>
@@ -29,6 +41,7 @@
 
 #include "obs/export.hh"
 #include "runtime/cluster.hh"
+#include "support/error.hh"
 #include "support/rng.hh"
 #include "support/table.hh"
 
@@ -46,14 +59,22 @@ main(int argc, char** argv)
     }
     int64_t threads = 0;
     int64_t mtbf = 0;
+    int64_t slowdown_mtbf = 0;
     int64_t deadline = 0;
+    bool resilience = false;
     std::string plan_spec;
-    for (int i = 1; i + 1 < argc; ++i) {
+    for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
+        if (a == "--resilience")
+            resilience = true;
+        if (i + 1 >= argc)
+            break;
         if (a == "--threads")
             threads = std::atoll(argv[i + 1]);
         else if (a == "--mtbf")
             mtbf = std::atoll(argv[i + 1]);
+        else if (a == "--slowdown-mtbf")
+            slowdown_mtbf = std::atoll(argv[i + 1]);
         else if (a == "--fault-plan")
             plan_spec = argv[i + 1];
         else if (a == "--deadline")
@@ -63,13 +84,14 @@ main(int argc, char** argv)
         std::cerr << "cluster_sim: --threads must be >= 0\n";
         return 2;
     }
-    if (mtbf < 0 || deadline < 0) {
-        std::cerr << "cluster_sim: --mtbf/--deadline must be >= 0\n";
+    if (mtbf < 0 || slowdown_mtbf < 0 || deadline < 0) {
+        std::cerr << "cluster_sim: --mtbf/--slowdown-mtbf/--deadline "
+                     "must be >= 0\n";
         return 2;
     }
-    if (mtbf > 0 && !plan_spec.empty()) {
-        std::cerr << "cluster_sim: --mtbf and --fault-plan are "
-                     "mutually exclusive\n";
+    if ((mtbf > 0 || slowdown_mtbf > 0) && !plan_spec.empty()) {
+        std::cerr << "cluster_sim: --mtbf/--slowdown-mtbf and "
+                     "--fault-plan are mutually exclusive\n";
         return 2;
     }
 
@@ -99,12 +121,16 @@ main(int argc, char** argv)
             std::cerr << "cluster_sim: --fault-plan: " << err << "\n";
             return 2;
         }
-    } else if (mtbf > 0) {
+    } else if (mtbf > 0 || slowdown_mtbf > 0) {
         // Horizon: twice the trace span, so late crashes are possible.
         const auto probe = generateTrace(tc, deriveSeed(2));
         FaultPlanConfig fc;
         fc.mtbfCycles = mtbf;
         fc.mttrCycles = mtbf / 4;
+        // Windows long enough for the breaker's detection lag and deep
+        // enough (factor <= openBelowFactor) to trip it, so the
+        // resilience tier's slowdown drain has something to drain.
+        fc.slowdownMtbfCycles = slowdown_mtbf;
         fc.horizonCycles =
             probe.empty() ? 0 : probe.back().arrival * 2;
         plan = generateFaultPlan(fc, cc.replicas, deriveSeed(3));
@@ -113,6 +139,21 @@ main(int argc, char** argv)
     DeadlineAwareShedPolicy shed_policy;
     if (deadline > 0)
         cc.engine.admission = &shed_policy;
+    // Resilience tier (PR 8): migration + breakers + cross-replica
+    // prefix reuse + autoscaler, with the brown-out admission ladder
+    // over a priority-tagged trace. Strictly opt-in: without the flag
+    // every output byte matches the plain fault tier.
+    BrownoutPolicy brownout;
+    if (resilience) {
+        cc.resilience.enabled = true;
+        cc.resilience.remotePrefix.enabled = true;
+        cc.resilience.autoscale.enabled = true;
+        tc.lowPriorityFrac = 0.2;
+        tc.highPriorityFrac = 0.1;
+        if (deadline > 0)
+            brownout.fallback = &shed_policy;
+        cc.engine.admission = &brownout;
+    }
 
     std::cout << "serving " << tc.numRequests << " requests (seed "
               << seed << ") on " << cc.replicas << " replicas of "
@@ -131,18 +172,37 @@ main(int argc, char** argv)
             std::cout << ";";
         }
         std::cout << "\n";
+        if (!plan.slowdowns.empty()) {
+            std::cout << "            " << plan.slowdowns.size()
+                      << " slowdown window(s):";
+            for (const SlowdownWindow& w : plan.slowdowns)
+                std::cout << " replica " << w.replica << " x"
+                          << w.bwFactor << " @" << w.start << ".."
+                          << w.end << ";";
+            std::cout << "\n";
+        }
     }
     if (deadline > 0)
         std::cout << "deadline: arrival + " << deadline
                   << " cycles, deadline-aware shedding on\n";
+    if (resilience)
+        std::cout << "resilience: migration + breakers + remote prefix "
+                     "+ autoscale + brown-out admission\n";
     std::cout << "\n";
 
     QueueDepthPolicy policy;
-    const bool fault_tier = !plan.empty() || deadline > 0;
+    const bool fault_tier = !plan.empty() || deadline > 0 || resilience;
     Table t({"routing", "TTFT p50", "TTFT p99", "TPOT p99",
              "tput tok/kcyc", "goodput", "SLO ok", "util %"});
-    Table ft({"routing", "completed", "failed", "retried", "shed",
-              "ddl miss", "retries", "avail %"});
+    Table ft(resilience
+                 ? std::vector<std::string>{"routing", "completed",
+                                            "failed", "retried", "shed",
+                                            "ddl miss", "retries",
+                                            "migrated", "avail %"}
+                 : std::vector<std::string>{"routing", "completed",
+                                            "failed", "retried", "shed",
+                                            "ddl miss", "retries",
+                                            "avail %"});
     ClusterResult least_queued;
     for (RouteKind routing :
          {RouteKind::RoundRobin, RouteKind::LeastQueued,
@@ -165,7 +225,7 @@ main(int argc, char** argv)
             .cellF(s.goodputTokensPerKcycle, 4)
             .cell(s.sloCompliant)
             .cellF(100.0 * s.computeUtilization, 1);
-        if (fault_tier)
+        if (fault_tier) {
             ft.row()
                 .cell(routeKindName(routing))
                 .cell(s.completed)
@@ -173,8 +233,20 @@ main(int argc, char** argv)
                 .cell(s.retriedRequests)
                 .cell(s.shedRequests)
                 .cell(s.deadlineMisses)
-                .cell(r.retriesIssued)
-                .cellF(100.0 * s.availability, 2);
+                .cell(r.retriesIssued);
+            if (resilience)
+                ft.cell(s.migratedRequests);
+            ft.cellF(100.0 * s.availability, 2);
+        }
+        // Availability accounting must close: every original request
+        // ends exactly once as completed, failed, or shed — retried
+        // and migrated incarnations are transit, not outcomes.
+        STEP_ASSERT(s.completed + s.failedRequests + s.shedRequests ==
+                        tc.numRequests,
+                    "availability accounting does not close: "
+                        << s.completed << " + " << s.failedRequests
+                        << " + " << s.shedRequests
+                        << " != " << tc.numRequests);
         if (routing == RouteKind::LeastQueued)
             least_queued = std::move(r);
     }

@@ -196,6 +196,10 @@ writeRequestJsonl(std::ostream& os,
                              : std::string("-1"));
             buf += ",\"shed\":" + (r.shed ? std::to_string(r.shedAt)
                                           : std::string("-1"));
+            // Only present on migrated incarnations: lifecycles from a
+            // resilience-free run keep their exact historical bytes.
+            if (r.migrated)
+                buf += ",\"migrated\":" + std::to_string(r.migratedAt);
             buf += ",\"ttft\":" +
                    (r.sawFirstToken
                         ? std::to_string(static_cast<int64_t>(

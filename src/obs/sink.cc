@@ -72,6 +72,8 @@ TraceSink::TraceSink(TraceOptions opts) : opts_(opts)
     nameShed_ = intern("req.shed");
     nameFaultDown_ = intern("fault.replica_down");
     nameFaultUp_ = intern("fault.replica_up");
+    nameMigrated_ = intern("req.migrated");
+    nameCapped_ = intern("req.capped");
 }
 
 uint32_t
@@ -339,6 +341,58 @@ TraceSink::reqShed(int64_t id, dam::Cycle at)
     e.kind = EventKind::Instant;
     e.tid = kTidLifecycle;
     e.arg0 = id;
+    append(e);
+}
+
+void
+TraceSink::reqMigrated(int64_t id, dam::Cycle at, int64_t kv_tokens)
+{
+    if (opts_.level < TraceLevel::Request)
+        return;
+    auto it = reqIndex_.find(id);
+    if (it != reqIndex_.end()) {
+        RequestLifecycle& rec = requests_[it->second];
+        rec.migrated = true;
+        rec.migratedAt = at;
+    }
+    TraceEvent e;
+    e.ts = at;
+    e.name = nameMigrated_;
+    e.kind = EventKind::Instant;
+    e.tid = kTidLifecycle;
+    e.arg0 = id;
+    e.arg1 = kv_tokens;
+    append(e);
+}
+
+void
+TraceSink::reqCapped(int64_t id, dam::Cycle at, int64_t cap)
+{
+    if (opts_.level < TraceLevel::Request)
+        return;
+    TraceEvent e;
+    e.ts = at;
+    e.name = nameCapped_;
+    e.kind = EventKind::Instant;
+    e.tid = kTidLifecycle;
+    e.arg0 = id;
+    e.arg1 = cap;
+    append(e);
+}
+
+void
+TraceSink::instant(std::string_view name, dam::Cycle at, int64_t arg0,
+                   int64_t arg1)
+{
+    if (opts_.level < TraceLevel::Request)
+        return;
+    TraceEvent e;
+    e.ts = at;
+    e.name = intern(name);
+    e.kind = EventKind::Instant;
+    e.tid = kTidLifecycle;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
     append(e);
 }
 

@@ -50,11 +50,13 @@ struct RequestLifecycle
     dam::Cycle finishedAt = 0;
     dam::Cycle failedAt = 0;
     dam::Cycle shedAt = 0;
+    dam::Cycle migratedAt = 0;
     bool admitted = false;
     bool sawFirstToken = false;
     bool finished = false;
-    bool failed = false; ///< replica crashed under it
-    bool shed = false;   ///< dropped by the admission policy
+    bool failed = false;   ///< replica crashed under it
+    bool shed = false;     ///< dropped by the admission policy
+    bool migrated = false; ///< drained to another replica mid-flight
 };
 
 /** One row of the switch-attribution histogram (sorted for export). */
@@ -120,6 +122,21 @@ class TraceSink
     void reqFailed(int64_t id, dam::Cycle at);
     /** The admission policy dropped the request at @p at. */
     void reqShed(int64_t id, dam::Cycle at);
+    /** The resilience tier drained the request off this replica at
+     *  @p at, handing off @p kv_tokens of computed KV. */
+    void reqMigrated(int64_t id, dam::Cycle at, int64_t kv_tokens);
+    /** Admission capped the request's output budget to @p cap tokens
+     *  (brown-out middle rung). */
+    void reqCapped(int64_t id, dam::Cycle at, int64_t cap);
+
+    /**
+     * Generic named instant on the lifecycle track — cluster-scope
+     * decisions (breaker flips, autoscale steps) the engine emits on
+     * the coordinator's behalf. Unknown names pass the trace validator
+     * untouched (it ignores instants it has no rules for).
+     */
+    void instant(std::string_view name, dam::Cycle at, int64_t arg0 = -1,
+                 int64_t arg1 = 0);
 
     // ---- fault hooks (engine-global cycles) --------------------------
     /** Replica crash processed at @p at (scripted cycle @p fail_at;
@@ -212,6 +229,7 @@ class TraceSink
     uint32_t nameArrive_, nameAdmit_, nameFirstToken_, nameFinish_;
     uint32_t nameRetry_, nameFailed_, nameShed_, nameFaultDown_,
         nameFaultUp_;
+    uint32_t nameMigrated_, nameCapped_;
 };
 
 } // namespace step::obs

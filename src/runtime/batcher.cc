@@ -55,6 +55,20 @@ ContinuousBatcher::admit(const AdmissionPolicy* policy,
                 out.shed.push_back(r);
                 continue;
             }
+            // Brown-out middle rung: admit, but with a truncated output
+            // budget. The block-hash stream must shrink with it — the
+            // finish-time cache insert would otherwise publish blocks
+            // this request never generates.
+            int64_t cap = policy->outputCap(*r, c);
+            if (cap > 0 && cap < r->outputLen) {
+                r->outputLen = cap;
+                auto blocks = static_cast<size_t>(
+                    (r->promptLen + r->outputLen) / kPrefixBlockTokens);
+                if (r->blockHashes.size() > blocks)
+                    r->blockHashes.resize(blocks);
+                need = r->kvReservationTokens() * cfg_.kvBytesPerToken;
+                out.capped.push_back(r);
+            }
         }
         if (kvReserved_ + need > cfg_.kvBudgetBytes) {
             // Not admitted: the match is re-done (and may differ) on the
@@ -64,10 +78,11 @@ ContinuousBatcher::admit(const AdmissionPolicy* policy,
         }
         waiting_.pop_front();
         kvReserved_ += need;
-        if (cache_) {
+        if (cache_)
             cache_->acquire(*r); // pins the matched path until release
-            r->prefilledTokens = r->cachedPrefixTokens;
-        }
+        // Tokens that skip prefill compute: the local cache hit or, for
+        // a migrated/remote-hit incarnation, the transferred KV.
+        r->prefilledTokens = r->prefillSkipTokens();
         r->state = ReqState::Prefilling;
         running_.push_back(r);
         out.admitted.push_back(r);

@@ -64,6 +64,9 @@ class ContinuousBatcher
         /** Dropped by the admission policy (state set to Shed; the
          *  caller stamps finishedAt and accounts them). */
         std::vector<Request*> shed;
+        /** Admitted with outputLen truncated by the policy's outputCap
+         *  (brown-out middle rung); subset of admitted. */
+        std::vector<Request*> capped;
     };
 
     /**

@@ -217,6 +217,69 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
       }
     }
 
+    // Health-scored remap (resilience tier): beyond liveness, the
+    // router consults the precomputed breaker timelines and the
+    // autoscaler's step timeline. A request whose chosen replica is
+    // down or breaker-open at arrival moves to the health-scored best
+    // candidate; autoscale-parked replicas stop receiving *fresh*
+    // placements, but sticky sessions they already own stay (cache
+    // affinity outranks parking). All inputs are pure pre-computed
+    // data, so the remap stays a deterministic pre-pass.
+    if (cfg_.resilience.enabled) {
+        std::vector<BreakerTimeline> breakers(R);
+        for (size_t r = 0; r < R; ++r)
+            breakers[r] = computeBreakerTimeline(
+                cfg_.faults.forReplica(static_cast<int64_t>(r)),
+                cfg_.resilience.breaker);
+        const int64_t layers = cfg_.engine.numLayers > 0
+                                   ? cfg_.engine.numLayers
+                                   : cfg_.engine.model.numLayers;
+        const std::vector<AutoscaleStep> autoscale =
+            computeAutoscaleTimeline(
+                cfg_.resilience.autoscale, reqs, cfg_.faults,
+                cfg_.replicas,
+                static_cast<double>(
+                    prefillFlopsPerToken(cfg_.engine.model, layers)),
+                cfg_.engine.totalComputeBw);
+        std::vector<int64_t> load(R, 0);
+        std::unordered_map<uint64_t, size_t> sticky; // key -> owner
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            auto r = static_cast<size_t>(out[i]);
+            const dam::Cycle at = reqs[i].arrival;
+            const uint64_t key = reqs[i].affinityKey;
+            // A session lives where its first turn actually landed —
+            // if that was itself remapped, later turns follow it (the
+            // warm cache is there, not at the routing pre-pass's pick).
+            const auto it = key != 0 ? sticky.find(key) : sticky.end();
+            const bool owned = it != sticky.end();
+            if (owned && it->second != r) {
+                r = it->second;
+                out[i] = static_cast<int64_t>(r);
+            }
+            const bool parked =
+                static_cast<int64_t>(r) >=
+                autoscaleActiveAt(autoscale, at, cfg_.replicas);
+            const bool unhealthy =
+                !cfg_.faults.aliveAt(static_cast<int64_t>(r), at) ||
+                breakers[r].openAt(at) || (parked && !owned);
+            if (unhealthy) {
+                const int64_t best = pickResilientTarget(
+                    load, cfg_.faults, breakers, autoscale, at,
+                    /*affinityOwner=*/-1,
+                    cfg_.resilience.remotePrefix.affinityLoadFactor,
+                    cfg_.resilience.breaker.halfOpenLoadPenalty);
+                if (best >= 0) {
+                    r = static_cast<size_t>(best);
+                    out[i] = best;
+                }
+            }
+            if (key != 0)
+                sticky[key] = r; // remaps move the session's home
+            load[r] += reqs[i].promptLen + reqs[i].outputLen;
+        }
+        return out;
+    }
+
     // Fault-aware remap: a health-checked router never sends a request
     // into a replica it knows is down at the arrival cycle. Such
     // requests move to the least-loaded alive replica (assigned
@@ -274,6 +337,84 @@ ServingCluster::run(std::vector<Request>& reqs)
     for (size_t r = 0; r < R; ++r)
         seeds[r] = deriveSeed(static_cast<uint64_t>(r));
 
+    // Resilience pre-pass: breaker timelines, the autoscaler's step
+    // timeline, and the per-replica cluster-instant lists the engines
+    // will stamp onto their traces — all pure data derived before any
+    // worker exists, like the fault plans and seeds above.
+    const bool resilient = cfg_.resilience.enabled;
+    std::vector<BreakerTimeline> breakers;
+    std::vector<AutoscaleStep> autoscale;
+    std::vector<std::vector<ClusterInstant>> instants(R);
+    std::unordered_map<uint64_t, int64_t> affinity_owner;
+    if (resilient) {
+        breakers.resize(R);
+        for (size_t r = 0; r < R; ++r)
+            breakers[r] = computeBreakerTimeline(
+                plans[r], cfg_.resilience.breaker);
+        const int64_t layers = cfg_.engine.numLayers > 0
+                                   ? cfg_.engine.numLayers
+                                   : cfg_.engine.model.numLayers;
+        autoscale = computeAutoscaleTimeline(
+            cfg_.resilience.autoscale, reqs, cfg_.faults, cfg_.replicas,
+            static_cast<double>(
+                prefillFlopsPerToken(cfg_.engine.model, layers)),
+            cfg_.engine.totalComputeBw);
+        for (size_t r = 0; r < R; ++r) {
+            // Each breaker-state flip becomes one instant at its edge;
+            // the state *after* the edge names the instant.
+            std::vector<dam::Cycle> edges;
+            for (const BreakerTimeline::Window& w : breakers[r].open) {
+                edges.push_back(w.start);
+                if (w.end != 0)
+                    edges.push_back(w.end);
+            }
+            for (const BreakerTimeline::Window& w :
+                 breakers[r].halfOpen) {
+                edges.push_back(w.start);
+                if (w.end != 0)
+                    edges.push_back(w.end);
+            }
+            std::sort(edges.begin(), edges.end());
+            edges.erase(std::unique(edges.begin(), edges.end()),
+                        edges.end());
+            for (dam::Cycle c : edges) {
+                ClusterInstant ci;
+                ci.at = c;
+                ci.value = static_cast<int64_t>(r);
+                switch (breakers[r].stateAt(c)) {
+                  case BreakerState::Open:
+                    ci.kind = ClusterInstant::BreakerOpen;
+                    break;
+                  case BreakerState::HalfOpen:
+                    ci.kind = ClusterInstant::BreakerHalfOpen;
+                    break;
+                  case BreakerState::Closed:
+                    ci.kind = ClusterInstant::BreakerClosed;
+                    break;
+                }
+                instants[r].push_back(ci);
+            }
+        }
+        // Autoscale steps are cluster-scope; replica 0's trace carries
+        // them (one writer per sink — the coordinator cannot).
+        for (const AutoscaleStep& s : autoscale)
+            instants[0].push_back(
+                {s.at, ClusterInstant::AutoscaleActive, s.active});
+        for (size_t r = 0; r < R; ++r)
+            std::sort(instants[r].begin(), instants[r].end(),
+                      [](const ClusterInstant& a,
+                         const ClusterInstant& b) {
+                          if (a.at != b.at)
+                              return a.at < b.at;
+                          return a.kind < b.kind;
+                      });
+        // Last sight wins: where the session's cache is warm *now*
+        // (the health-scored remap may have moved the session's home).
+        for (size_t i = 0; i < reqs.size(); ++i)
+            if (reqs[i].affinityKey != 0)
+                affinity_owner[reqs[i].affinityKey] = assignment[i];
+    }
+
     // Shard the trace into *pristine* per-replica inputs. Each shard
     // keeps trace order, so it starts sorted by arrival; meta[] maps
     // shard slots back to the caller's vector and records which retry
@@ -312,6 +453,15 @@ ServingCluster::run(std::vector<Request>& reqs)
         EngineConfig ec = cfg_.engine;
         ec.seed = seeds[r];
         ec.faults = plans[r];
+        if (resilient) {
+            // The drain fires on the same edge that opens the breaker:
+            // detection is one signal, shared by routing and migration.
+            ec.drain.enabled = true;
+            ec.drain.detectCycles = cfg_.resilience.breaker.detectCycles;
+            ec.drain.openBelowFactor =
+                cfg_.resilience.breaker.openBelowFactor;
+            ec.clusterInstants = instants[r];
+        }
         ServingEngine engine(ec, policy_);
         if (!traces.empty())
             engine.attachTrace(traces[r].get());
@@ -367,14 +517,32 @@ ServingCluster::run(std::vector<Request>& reqs)
     static const ExponentialBackoffRetry default_retry;
     const RetryPolicy* retry = cfg_.retry ? cfg_.retry : &default_retry;
     std::set<std::pair<size_t, int64_t>> decided;
-    // (orig, attempt) -> source replica whose summary reclassifies the
-    // failure as a retry.
-    std::map<std::pair<size_t, int64_t>, size_t> issued;
+    // (orig, attempt) -> the source incarnation's fate: which replica
+    // ended it, and whether it left as a migration (already counted
+    // there) or a failure (reclassified failed -> retried below).
+    struct IssueSrc
+    {
+        size_t replica = 0;
+        bool migrated = false;
+    };
+    std::map<std::pair<size_t, int64_t>, IssueSrc> issued;
     std::vector<int64_t> load(R, 0);
     for (size_t i = 0; i < reqs.size(); ++i)
         load[static_cast<size_t>(assignment[i])] +=
             reqs[i].promptLen + reqs[i].outputLen;
     int64_t retries_issued = 0;
+    int64_t migrations_issued = 0;
+    // Last crash of replica r at or before cycle c (kNoEvent = none):
+    // the owner's cache holds nothing inserted before it.
+    auto last_crash_before = [&](size_t r, dam::Cycle c) -> dam::Cycle {
+        dam::Cycle last = ReplicaFaultTimeline::kNoEvent;
+        for (const auto& d : plans[r].downs)
+            if (d.failAt <= c &&
+                (last == ReplicaFaultTimeline::kNoEvent ||
+                 d.failAt > last))
+                last = d.failAt;
+        return last;
+    };
 
     std::vector<size_t> todo(R);
     std::iota(todo.begin(), todo.end(), size_t{0});
@@ -391,17 +559,22 @@ ServingCluster::run(std::vector<Request>& reqs)
             size_t orig;
             int64_t attempt;
             size_t replica, slot;
+            bool migrated; ///< left via slowdown drain, KV intact
         };
         std::vector<FailRec> fails;
         for (size_t r = 0; r < R; ++r)
             for (size_t k = 0; k < work[r].size(); ++k) {
                 const Request& q = work[r][k];
-                if (q.state != ReqState::Failed)
+                // Migrated only appears with the resilience drain on,
+                // so the fault-only path scans exactly as before.
+                if (q.state != ReqState::Failed &&
+                    q.state != ReqState::Migrated)
                     continue;
                 const Incarnation& m = meta[r][k];
                 if (decided.count({m.orig, m.attempt}))
                     continue;
-                fails.push_back({q.finishedAt, m.orig, m.attempt, r, k});
+                fails.push_back({q.finishedAt, m.orig, m.attempt, r, k,
+                                 q.state == ReqState::Migrated});
             }
         std::sort(fails.begin(), fails.end(),
                   [](const FailRec& a, const FailRec& b) {
@@ -416,32 +589,119 @@ ServingCluster::run(std::vector<Request>& reqs)
         for (const FailRec& f : fails) {
             const std::pair<size_t, int64_t> key{f.orig, f.attempt};
             decided.insert(key);
-            const std::optional<dam::Cycle> re = retry->reschedule(
-                work[f.replica][f.slot], f.attempt + 1, f.at);
+            const Request& src = work[f.replica][f.slot];
+            std::optional<dam::Cycle> re;
+            int64_t kv = 0; // KV tokens the handoff carries
+            if (!resilient) {
+                re = retry->reschedule(src, f.attempt + 1, f.at);
+            } else if (f.attempt + 1 <=
+                       cfg_.resilience.migration.maxMigrations) {
+                // Migration cost model: fixed handshake, plus the KV
+                // shard for a soft drain (a hard-down source lost its
+                // KV — crash casualties re-prefill from scratch).
+                const MigrationConfig& mc = cfg_.resilience.migration;
+                kv = f.migrated ? src.prefilledTokens : 0;
+                const dam::Cycle rearrive =
+                    f.at + std::max<dam::Cycle>(
+                               1, mc.fixedHandoffCycles +
+                                      static_cast<dam::Cycle>(kv) *
+                                          mc.perTokenTransferCycles);
+                // Same contract as RetryPolicy: never hand off work
+                // that can only miss its deadline.
+                if (src.deadlineAt == 0 || rearrive <= src.deadlineAt)
+                    re = rearrive;
+            }
             if (!re)
                 continue; // policy says permanent (attempts / deadline)
-            // Least-loaded replica alive at the re-arrival cycle; with
-            // none alive the retry could only be refused again, so the
-            // failure stands.
+            int64_t owner = -1;
+            if (resilient && reqs[f.orig].affinityKey != 0) {
+                const auto it =
+                    affinity_owner.find(reqs[f.orig].affinityKey);
+                if (it != affinity_owner.end())
+                    owner = it->second;
+            }
             int64_t best = -1;
-            for (size_t c = 0; c < R; ++c) {
-                if (!cfg_.faults.aliveAt(static_cast<int64_t>(c), *re))
-                    continue;
-                if (best < 0 ||
-                    load[c] < load[static_cast<size_t>(best)])
-                    best = static_cast<int64_t>(c);
+            if (resilient) {
+                best = pickResilientTarget(
+                    load, cfg_.faults, breakers, autoscale, *re, owner,
+                    cfg_.resilience.remotePrefix.affinityLoadFactor,
+                    cfg_.resilience.breaker.halfOpenLoadPenalty);
+            } else {
+                // Least-loaded replica alive at the re-arrival cycle;
+                // with none alive the retry could only be refused
+                // again, so the failure stands.
+                for (size_t c = 0; c < R; ++c) {
+                    if (!cfg_.faults.aliveAt(static_cast<int64_t>(c),
+                                             *re))
+                        continue;
+                    if (best < 0 ||
+                        load[c] < load[static_cast<size_t>(best)])
+                        best = static_cast<int64_t>(c);
+                }
             }
             if (best < 0)
                 continue;
             const auto tgt = static_cast<size_t>(best);
-            issued.emplace(key, f.replica);
+            issued.emplace(key, IssueSrc{f.replica, f.migrated});
             Request inc = reqs[f.orig]; // pristine: waves never mutate
             inc.arrival = *re;
             inc.attempt = f.attempt + 1;
+            if (resilient) {
+                // Cross-replica prefix fetch: placed off its affinity
+                // owner, the incarnation may still pull its warm prefix
+                // from the owner's cache — if an earlier turn of the
+                // session finished there before the handoff lands and
+                // after the owner's last crash (the cache died with
+                // it). Block-granular; the fetch pays a lookup RTT plus
+                // per-token transfer for what the migration did not
+                // already carry. The owner's currently-simulated
+                // timeline is the reference — deterministic, since
+                // waves run sequentially on this thread.
+                const RemotePrefixConfig& rp =
+                    cfg_.resilience.remotePrefix;
+                if (rp.enabled && owner >= 0 &&
+                    static_cast<size_t>(owner) != tgt) {
+                    const auto ow = static_cast<size_t>(owner);
+                    const dam::Cycle wiped = last_crash_before(ow, *re);
+                    int64_t credit = 0;
+                    for (const Request& q : work[ow]) {
+                        if (q.sessionId != inc.sessionId ||
+                            q.turn >= inc.turn ||
+                            q.state != ReqState::Finished)
+                            continue;
+                        if (q.finishedAt > *re)
+                            continue;
+                        if (wiped != ReplicaFaultTimeline::kNoEvent &&
+                            q.finishedAt <= wiped)
+                            continue;
+                        const int64_t blocks = static_cast<int64_t>(
+                            q.blockHashes.size());
+                        credit = std::max(
+                            credit,
+                            std::min(blocks * kPrefixBlockTokens,
+                                     inc.promptLen - 1));
+                    }
+                    if (credit > kv) {
+                        const dam::Cycle fetched =
+                            *re + rp.lookupCycles +
+                            static_cast<dam::Cycle>(credit - kv) *
+                                rp.perTokenFetchCycles;
+                        if (inc.deadlineAt == 0 ||
+                            fetched <= inc.deadlineAt) {
+                            inc.arrival = fetched;
+                            kv = credit;
+                        }
+                    }
+                }
+                inc.remoteKvTokens = kv;
+            }
             shard[tgt].push_back(inc);
             meta[tgt].push_back({f.orig, inc.attempt});
             load[tgt] += inc.promptLen + inc.outputLen;
-            ++retries_issued;
+            if (f.migrated)
+                ++migrations_issued;
+            else
+                ++retries_issued;
             dirty[tgt] = 1;
         }
 
@@ -493,15 +753,72 @@ ServingCluster::run(std::vector<Request>& reqs)
             if (m.attempt > fin[m.orig].attempt)
                 fin[m.orig] = {m.attempt, r, k};
         }
-    for (size_t r = 0; r < R; ++r)
-        for (size_t k = 0; k < work[r].size(); ++k) {
-            const Incarnation& m = meta[r][k];
-            if (m.attempt < fin[m.orig].attempt)
-                STEP_ASSERT(work[r][k].state == ReqState::Failed,
-                            "superseded incarnation of request "
-                                << work[r][k].id
-                                << " did not stay failed");
+    if (!resilient) {
+        for (size_t r = 0; r < R; ++r)
+            for (size_t k = 0; k < work[r].size(); ++k) {
+                const Incarnation& m = meta[r][k];
+                if (m.attempt < fin[m.orig].attempt)
+                    STEP_ASSERT(work[r][k].state == ReqState::Failed,
+                                "superseded incarnation of request "
+                                    << work[r][k].id
+                                    << " did not stay failed");
+            }
+    } else {
+        // Under the resilience tier an incarnation's fate can
+        // legitimately flip between waves: a later wave's extra
+        // arrivals shift the bandwidth split, and a request that was
+        // mid-prefill at a drain edge (-> Migrated) may by then have
+        // finished, failed, or been shed. The per-wave issue log is
+        // therefore not a reliable accounting source; instead, every
+        // replica's summary is recomputed below from its *final*
+        // timeline, with superseded slots reinterpreted:
+        //   - Failed/Migrated with a successor: transparent handoff
+        //     (retried resp. migrated, outside availability);
+        //   - Finished/Shed with a successor: phantom duplicate — the
+        //     source would have stopped serving the moment the handoff
+        //     was issued, so the slot is dropped and the successor
+        //     carries the client-visible outcome.
+        // A *final* incarnation still in Migrated was denied a target
+        // (attempt cap, deadline, nothing healthy): a loss, converted
+        // to Failed so availability closes over finished/failed/shed.
+        for (size_t r = 0; r < R; ++r) {
+            int64_t retried = 0;
+            std::vector<Request> view;
+            view.reserve(work[r].size());
+            for (size_t k = 0; k < work[r].size(); ++k) {
+                Request q = work[r][k];
+                const Incarnation& m = meta[r][k];
+                if (m.attempt < fin[m.orig].attempt) {
+                    if (q.state == ReqState::Failed)
+                        ++retried; // counted as failover, not failure
+                    else if (q.state == ReqState::Migrated)
+                        view.push_back(q);
+                    continue;
+                }
+                if (q.state == ReqState::Migrated) {
+                    q.state = ReqState::Failed;
+                    work[r][k].state = ReqState::Failed;
+                }
+                view.push_back(q);
+            }
+            ServingSummary& old = results[r].result.summary;
+            ServingSummary ns =
+                summarize(view, old.makespan, cfg_.engine.slo);
+            ns.retriedRequests = retried;
+            // Engine-attached fields survive the recompute untouched.
+            ns.computeUtilization = old.computeUtilization;
+            ns.prefixLookups = old.prefixLookups;
+            ns.prefixHits = old.prefixHits;
+            ns.prefixTokensSaved = old.prefixTokensSaved;
+            ns.prefixPeakOccupancyTokens =
+                old.prefixPeakOccupancyTokens;
+            ns.prefixPeakOccupancyMaxReplica =
+                old.prefixPeakOccupancyMaxReplica;
+            ns.counters = old.counters;
+            refreshPrefixDerivedStats(ns);
+            old = std::move(ns);
         }
+    }
     for (size_t i = 0; i < reqs.size(); ++i) {
         const dam::Cycle arrival = reqs[i].arrival;
         reqs[i] = work[fin[i].replica][fin[i].slot];
@@ -509,12 +826,15 @@ ServingCluster::run(std::vector<Request>& reqs)
     }
 
     // A failure that produced a retry is transparent failover, not a
-    // lost request: reclassify it at the replica that failed it.
-    for (const auto& [key, src] : issued) {
-        ServingSummary& s = results[src].result.summary;
-        s.failedRequests -= 1;
-        s.retriedRequests += 1;
-        refreshAvailability(s);
+    // lost request: reclassify it at the replica that failed it. (The
+    // resilient path derived this from the final timelines above.)
+    if (!resilient) {
+        for (const auto& [key, src] : issued) {
+            ServingSummary& s = results[src.replica].result.summary;
+            s.failedRequests -= 1;
+            s.retriedRequests += 1;
+            refreshAvailability(s);
+        }
     }
 
     // Merge in replica-index order: the aggregate depends only on the
@@ -523,6 +843,8 @@ ServingCluster::run(std::vector<Request>& reqs)
     out.replicas = std::move(results);
     out.traces = std::move(traces);
     out.retriesIssued = retries_issued;
+    out.migrationsIssued = migrations_issued;
+    out.autoscale = std::move(autoscale);
     std::vector<ServingSummary> parts;
     parts.reserve(R);
     for (const ReplicaResult& rr : out.replicas) {

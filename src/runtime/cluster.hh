@@ -97,6 +97,20 @@ struct ClusterConfig
      */
     const RetryPolicy* retry = nullptr;
     /**
+     * Resilience tier (disabled = the default — run() is then
+     * bit-identical to the plain fault tier). Enabled, it changes four
+     * things (see resilience.hh): the router and failover placement
+     * become health-scored (circuit breakers from the fault plan,
+     * autoscale parking, affinity preference); crash casualties and
+     * slowdown-drained requests *migrate* at a modeled KV-handoff cost
+     * instead of going through the plain retry policy; migrated or
+     * retried requests placed off their cache-affinity replica may
+     * fetch their prefix from the owner's cache at a modeled transfer
+     * cost; and each engine runs the slowdown drain with the breaker's
+     * detection parameters. cfg_.retry is not consulted while enabled.
+     */
+    ResilienceConfig resilience;
+    /**
      * Tracing (level Off = disabled). When enabled, run() creates one
      * TraceSink per replica *before* workers spawn — each sink is then
      * written by exactly one worker, so recording needs no locks — and
@@ -127,6 +141,12 @@ struct ClusterResult
     int64_t totalIterations = 0;
     /** Retry incarnations the failover waves issued (0 without faults). */
     int64_t retriesIssued = 0;
+    /** Migration incarnations the resilience tier issued (0 unless the
+     *  tier is enabled and a slowdown drain fired). */
+    int64_t migrationsIssued = 0;
+    /** The autoscaler's precomputed step timeline (empty unless the
+     *  resilience tier's autoscaler is enabled). */
+    std::vector<AutoscaleStep> autoscale;
     /** Per-replica trace sinks (replica-index order); empty when
      *  ClusterConfig::trace.level is Off. unique_ptr keeps the sinks'
      *  addresses stable across the result's moves. */
@@ -171,7 +191,10 @@ class ServingCluster
     /**
      * The deterministic routing pre-pass alone: replica index per
      * request, in trace order. Includes the fault-aware remap (requests
-     * arriving into a down replica move to the least-loaded alive one).
+     * arriving into a down replica move to the least-loaded alive one)
+     * — or, with the resilience tier enabled, the health-scored remap
+     * (down, breaker-open, and autoscale-parked replicas stop getting
+     * fresh placements; targets are picked by pickResilientTarget).
      * Exposed for tests and routing studies.
      */
     std::vector<int64_t> routeTrace(const std::vector<Request>& reqs) const;

@@ -55,6 +55,22 @@ struct FaultCounters
     {}
 };
 
+/**
+ * Resilience-tier counters, registered only when the tier is active on
+ * this replica (slowdown drain enabled or cluster instants present) —
+ * the FaultCounters pattern, so resilience-free runs keep their counter
+ * set, and their exported bytes, unchanged.
+ */
+struct ResilienceCounters
+{
+    obs::CounterRegistry::Handle requestsMigrated, requestsCapped;
+
+    explicit ResilienceCounters(obs::CounterRegistry& c)
+        : requestsMigrated(c.monotonic("requests_migrated")),
+          requestsCapped(c.monotonic("requests_capped"))
+    {}
+};
+
 } // namespace
 
 EngineConfig::EngineConfig() : model(servingSimConfig()) {}
@@ -133,6 +149,23 @@ ServingEngine::run(std::vector<Request>& reqs)
     // Stats of caches dropped by crashes, folded into the summary tail.
     PrefixCacheStats lostCacheStats;
 
+    // ---- resilience tier ---------------------------------------------
+    // Slowdown-drain edges: the cycle each qualifying slowdown window
+    // has been observed long enough to trigger live migration.
+    // Precomputed from the (already normalized, start-sorted) timeline —
+    // data, like the fault plan itself.
+    std::vector<dam::Cycle> drain_edges;
+    if (cfg_.drain.enabled)
+        for (const auto& s : faults.slowdowns)
+            if (s.factor <= cfg_.drain.openBelowFactor &&
+                s.end - s.start > cfg_.drain.detectCycles)
+                drain_edges.push_back(s.start + cfg_.drain.detectCycles);
+    size_t drain_idx = 0;
+    size_t instant_idx = 0; ///< next cfg_.clusterInstants to emit
+    std::unique_ptr<ResilienceCounters> rctr;
+    if (trace_ && (cfg_.drain.enabled || !cfg_.clusterInstants.empty()))
+        rctr = std::make_unique<ResilienceCounters>(trace_->counters());
+
     // Request completion: cache the full prompt+output stream (the next
     // turn of the session prefixes it), drop the admission pin, free the
     // KV reservation.
@@ -163,6 +196,20 @@ ServingEngine::run(std::vector<Request>& reqs)
             trace_->reqFailed(r->id, at);
             if (fctr)
                 trace_->counters().add(fctr->requestsFailed, 1);
+        }
+    };
+    // Live migration exit: the incarnation ends here carrying
+    // @p kv_tokens of computed KV for the handoff; the cluster turns it
+    // into a re-arrival elsewhere. Like failReq, KV/cache bookkeeping
+    // is the caller's job.
+    auto migrateReq = [&](Request* r, dam::Cycle at, int64_t kv_tokens) {
+        r->state = ReqState::Migrated;
+        r->finishedAt = at;
+        ++terminal;
+        if (trace_) [[unlikely]] {
+            trace_->reqMigrated(r->id, at, kv_tokens);
+            if (rctr)
+                trace_->counters().add(rctr->requestsMigrated, 1);
         }
     };
 
@@ -226,6 +273,58 @@ ServingEngine::run(std::vector<Request>& reqs)
                                  reqs[next_arrival].arrival <= now;
             const bool has_crash = down_idx < faults.downs.size() &&
                                    faults.downs[down_idx].failAt <= now;
+            // Resilience events interleave in cycle order; ties go to
+            // them so the trace stamps the cause (breaker flip, drain
+            // trigger) before its effects. With the tier disabled both
+            // lists are empty and this is the historical loop verbatim.
+            const dam::Cycle arr_at =
+                has_arr ? reqs[next_arrival].arrival
+                        : ReplicaFaultTimeline::kNoEvent;
+            const dam::Cycle crash_at =
+                has_crash ? faults.downs[down_idx].failAt
+                          : ReplicaFaultTimeline::kNoEvent;
+            const bool has_instant =
+                instant_idx < cfg_.clusterInstants.size() &&
+                cfg_.clusterInstants[instant_idx].at <= now;
+            const bool has_drain = drain_idx < drain_edges.size() &&
+                                   drain_edges[drain_idx] <= now;
+            const dam::Cycle inst_at =
+                has_instant ? cfg_.clusterInstants[instant_idx].at
+                            : ReplicaFaultTimeline::kNoEvent;
+            const dam::Cycle drain_at =
+                has_drain ? drain_edges[drain_idx]
+                          : ReplicaFaultTimeline::kNoEvent;
+            if (has_instant && inst_at <= arr_at && inst_at <= crash_at &&
+                inst_at <= drain_at) {
+                const ClusterInstant& ci =
+                    cfg_.clusterInstants[instant_idx++];
+                if (trace_) [[unlikely]]
+                    trace_->instant(clusterInstantName(ci.kind), ci.at,
+                                    -1, ci.value);
+                continue;
+            }
+            if (has_drain && drain_at <= arr_at && drain_at <= crash_at) {
+                const dam::Cycle at = drain_edges[drain_idx++];
+                // Queued and prefilling requests leave for a healthy
+                // replica; decoding requests stay and finish locally at
+                // the degraded bandwidth (shipping a half-generated
+                // stream would cost more than it saves).
+                const std::vector<Request*> running(batcher.running());
+                for (Request* r : running) {
+                    if (r->state != ReqState::Prefilling)
+                        continue;
+                    const int64_t kv = r->prefilledTokens;
+                    if (cache)
+                        cache->release(*r);
+                    batcher.release(r);
+                    migrateReq(r, at, kv);
+                }
+                for (Request* r : batcher.drainWaiting()) {
+                    r->cachedPrefixTokens = 0; // no pin was ever taken
+                    migrateReq(r, at, 0);
+                }
+                continue;
+            }
             if (has_arr &&
                 (!has_crash || reqs[next_arrival].arrival <=
                                    faults.downs[down_idx].failAt)) {
@@ -306,6 +405,12 @@ ServingEngine::run(std::vector<Request>& reqs)
                     now = w.recoverAt;
                     if (trace_) [[unlikely]]
                         trace_->faultUp(now);
+                } else if (trace_) [[unlikely]] {
+                    // The iteration that just ended spans the whole
+                    // outage: down and up are delivered at the same
+                    // boundary. Emit the up so the trace's down/up
+                    // alternation invariant holds.
+                    trace_->faultUp(now);
                 }
                 continue;
             }
@@ -329,6 +434,14 @@ ServingEngine::run(std::vector<Request>& reqs)
         actx.now = now;
         actx.prefillFlopsPerToken = fpt;
         actx.totalComputeBw = eff_bw;
+        actx.nominalComputeBw = cfg_.totalComputeBw;
+        // Idle-TTL sweep before admission: entries that expire this
+        // round cannot be hit by this round's lookups (TTL 0 = off and
+        // the calls are never reached).
+        if (cache && cfg_.prefixCache.idleTtlCycles > 0) {
+            cache->setClock(now);
+            cache->evictIdle();
+        }
         const ContinuousBatcher::AdmitResult adm =
             batcher.admit(cfg_.admission, actx);
         for (Request* r : adm.shed) {
@@ -343,6 +456,11 @@ ServingEngine::run(std::vector<Request>& reqs)
         if (trace_) [[unlikely]] {
             for (const Request* r : adm.admitted)
                 trace_->reqAdmitted(r->id, r->cachedPrefixTokens, now);
+            for (const Request* r : adm.capped) {
+                trace_->reqCapped(r->id, now, r->outputLen);
+                if (rctr)
+                    trace_->counters().add(rctr->requestsCapped, 1);
+            }
         }
 
         if (batcher.running().empty()) {
@@ -422,12 +540,13 @@ ServingEngine::run(std::vector<Request>& reqs)
             STEP_ASSERT(split.prefillBw > 0,
                         "policy starves prefill with no decode work");
             // Only the uncached suffix costs prefill flops; the cached
-            // prefix's KV is already resident (>= 1 suffix token always
-            // remains, see Request::cachedPrefixTokens).
+            // prefix's KV is already resident, and migrated-in KV skips
+            // compute the same way (>= 1 suffix token always remains,
+            // see Request::prefillSkipTokens).
             const Request* head = prefills.front();
             double remaining =
                 static_cast<double>(head->promptLen -
-                                    head->cachedPrefixTokens) *
+                                    head->prefillSkipTokens()) *
                     fpt -
                 head->prefillFlopsDone;
             iter_cycles = static_cast<dam::Cycle>(std::ceil(
@@ -446,6 +565,19 @@ ServingEngine::run(std::vector<Request>& reqs)
                     iter_cycles = std::max<dam::Cycle>(
                         1, std::min(iter_cycles, edge - now));
             }
+            // ... and on resilience edges (drain triggers, cluster
+            // instants), for the same exact-cycle reason.
+            if (drain_idx < drain_edges.size() &&
+                drain_edges[drain_idx] > now)
+                iter_cycles = std::max<dam::Cycle>(
+                    1, std::min(iter_cycles,
+                                drain_edges[drain_idx] - now));
+            if (instant_idx < cfg_.clusterInstants.size() &&
+                cfg_.clusterInstants[instant_idx].at > now)
+                iter_cycles = std::max<dam::Cycle>(
+                    1, std::min(iter_cycles,
+                                cfg_.clusterInstants[instant_idx].at -
+                                    now));
         }
 
         // ---- prefill progress (FIFO, analytic) ----------------------
@@ -459,7 +591,7 @@ ServingEngine::run(std::vector<Request>& reqs)
                 break;
             double need =
                 static_cast<double>(r->promptLen -
-                                    r->cachedPrefixTokens) *
+                                    r->prefillSkipTokens()) *
                     fpt -
                 r->prefillFlopsDone;
             double use = std::min(need, budget);
@@ -469,7 +601,7 @@ ServingEngine::run(std::vector<Request>& reqs)
             int64_t tok_before = r->prefilledTokens;
             r->prefilledTokens = std::min(
                 r->promptLen,
-                r->cachedPrefixTokens +
+                r->prefillSkipTokens() +
                     static_cast<int64_t>(r->prefillFlopsDone / fpt));
             prefilled_tokens += r->prefilledTokens - tok_before;
             if (use >= need) {

@@ -27,6 +27,7 @@
 #include "runtime/policy.hh"
 #include "runtime/prefixcache.hh"
 #include "runtime/request.hh"
+#include "runtime/resilience.hh"
 #include "workloads/decoder.hh"
 
 namespace step::obs {
@@ -87,6 +88,25 @@ struct EngineConfig
     const AdmissionPolicy* admission = nullptr;
 
     /**
+     * Engine-side live-migration trigger (see SlowdownDrainConfig):
+     * when a deep slowdown window has run for the detection lag, queued
+     * and prefilling requests leave in state Migrated (with finishedAt
+     * and their prefill progress as the KV tokens to hand off) instead
+     * of grinding through the degraded window; the cluster reschedules
+     * them. Disabled (default) the engine is bit-identical to a
+     * drain-less build.
+     */
+    SlowdownDrainConfig drain;
+    /**
+     * Cluster-scope instants (breaker flips, autoscale steps) for this
+     * replica's trace, sorted by cycle. The engine emits each from its
+     * own loop when the clock passes it — the sink is single-writer, so
+     * the coordinator cannot append them itself. Empty (default) emits
+     * nothing.
+     */
+    std::vector<ClusterInstant> clusterInstants;
+
+    /**
      * Recycle one arena-backed decoder graph across batching iterations
      * instead of rebuilding from the heap each time (see
      * Graph::recycle). Metrics are identical either way; the rebuild
@@ -120,8 +140,9 @@ class ServingEngine
 
     /**
      * Serve @p reqs (mutated in place: states, TTFT/finish stamps) until
-     * every request reaches a terminal state — Finished, or Failed/Shed
-     * under the fault tier. Deterministic for fixed (config, policy,
+     * every request reaches a terminal state — Finished, Failed/Shed
+     * under the fault tier, or Migrated when a slowdown drain hands the
+     * request off for the cluster to reschedule. Deterministic for fixed (config, policy,
      * trace). Throws StallError (with a scheduler-state diagnostic)
      * when no admission progress is possible, e.g. a head-of-line
      * request that can never fit the KV budget with no admission policy

@@ -264,7 +264,7 @@ DeadlineAwareShedPolicy::shouldShed(const Request& r,
     // proceeds at the configured per-token floor. Anything the real
     // engine does (sharing bandwidth, queueing) only finishes later.
     const auto suffix = static_cast<double>(
-        r.promptLen - r.cachedPrefixTokens);
+        r.promptLen - r.prefillSkipTokens());
     auto prefill = static_cast<dam::Cycle>(std::ceil(
         suffix * ctx.prefillFlopsPerToken /
         static_cast<double>(ctx.totalComputeBw)));

@@ -213,6 +213,10 @@ struct AdmissionContext
     double prefillFlopsPerToken = 0;
     /** Effective compute bandwidth (slowdown-scaled). */
     int64_t totalComputeBw = 0;
+    /** Configured compute bandwidth before slowdown scaling; the gap to
+     *  totalComputeBw is the degradation signal brown-out reads. 0 when
+     *  the engine predates the signal (treated as "not degraded"). */
+    int64_t nominalComputeBw = 0;
     int64_t runningRequests = 0;
     int64_t waitingRequests = 0;
     int64_t kvBudgetBytes = 0;
@@ -231,6 +235,18 @@ class AdmissionPolicy
     virtual ~AdmissionPolicy() = default;
     virtual bool shouldShed(const Request& r,
                             const AdmissionContext& ctx) const = 0;
+
+    /**
+     * Graceful degradation below shedding: a positive return caps the
+     * request's outputLen at that many tokens at admission (never
+     * raising it) — the brown-out ladder's middle rung. 0, the default,
+     * admits unmodified.
+     */
+    virtual int64_t
+    outputCap(const Request& /*r*/, const AdmissionContext& /*ctx*/) const
+    {
+        return 0;
+    }
 };
 
 /**

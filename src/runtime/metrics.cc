@@ -101,6 +101,12 @@ summarize(const std::vector<Request>& reqs, dam::Cycle makespan,
             ++s.shedRequests;
             continue;
         }
+        if (r.state == ReqState::Migrated) {
+            // In-transit handoff: the incarnation that replaces it is
+            // accounted at its target replica.
+            ++s.migratedRequests;
+            continue;
+        }
         if (!r.done())
             continue;
         if (r.deadlineAt != 0 && r.finishedAt > r.deadlineAt)
@@ -130,6 +136,7 @@ mergeSummaries(const std::vector<ServingSummary>& parts)
         m.failedRequests += p.failedRequests;
         m.retriedRequests += p.retriedRequests;
         m.shedRequests += p.shedRequests;
+        m.migratedRequests += p.migratedRequests;
         m.deadlineMisses += p.deadlineMisses;
         m.sloCompliant += p.sloCompliant;
         m.sloGoodTokens += p.sloGoodTokens;
@@ -189,12 +196,17 @@ printSummary(const ServingSummary& s, std::ostream& os)
     // Fault line only when the fault tier did something: a fault-free,
     // deadline-less run prints bytes identical to earlier builds.
     if (s.failedRequests + s.retriedRequests + s.shedRequests +
-            s.deadlineMisses >
+            s.migratedRequests + s.deadlineMisses >
         0) {
         os << "fault tolerance    : " << s.failedRequests << " failed, "
            << s.retriedRequests << " retried, " << s.shedRequests
            << " shed, " << s.deadlineMisses << " deadline misses, "
-           << 100.0 * s.availability << " % availability\n";
+           << 100.0 * s.availability << " % availability";
+        // Migration sub-clause only when it happened: fault lines from
+        // migration-free runs keep their exact historical bytes.
+        if (s.migratedRequests > 0)
+            os << ", " << s.migratedRequests << " migrated";
+        os << "\n";
     }
     if (s.prefixLookups > 0) {
         os << "prefix cache       : " << 100.0 * s.prefixHitRate

@@ -64,6 +64,14 @@ struct ServingSummary
     int64_t retriedRequests = 0;
     /** Requests dropped by the admission policy. */
     int64_t shedRequests = 0;
+    /**
+     * Incarnations the resilience tier drained off a degraded replica
+     * mid-flight (counted at the source, like retriedRequests; the new
+     * incarnation is accounted wherever it lands). Not part of the
+     * availability denominator — a migration is in-transit work, not a
+     * client-visible outcome.
+     */
+    int64_t migratedRequests = 0;
     /** Completed requests that finished after their deadline. */
     int64_t deadlineMisses = 0;
     /**

@@ -32,6 +32,24 @@ rateAt(const TraceConfig& cfg, double t)
     return on ? base * cfg.burstFactor : base / cfg.burstFactor;
 }
 
+/**
+ * Priority draw for brown-out studies. Gated on the fractions being
+ * set: the default (both 0) consumes nothing from the RNG, keeping
+ * priority-free traces bit-identical to previous builds.
+ */
+ReqPriority
+samplePriority(Rng& rng, const TraceConfig& cfg)
+{
+    if (cfg.lowPriorityFrac <= 0.0 && cfg.highPriorityFrac <= 0.0)
+        return ReqPriority::Normal;
+    double u = rng.uniform();
+    if (u < cfg.lowPriorityFrac)
+        return ReqPriority::Low;
+    if (u > 1.0 - cfg.highPriorityFrac)
+        return ReqPriority::High;
+    return ReqPriority::Normal;
+}
+
 /** Seed constants for synthetic token content. The system prompt hashes
  *  from a fixed constant so it is bit-identical across sessions (and
  *  across traces); session content hashes from (trace seed, session). */
@@ -97,6 +115,7 @@ generateConversationTrace(const TraceConfig& cfg, uint64_t seed)
             int64_t output = sampleLen(rng, cfg.outputMean,
                                        cfg.outputSigma, cfg.outputMin,
                                        cfg.outputMax);
+            ReqPriority priority = samplePriority(rng, cfg);
             // User turn t: new tokens on top of the full prior context.
             chain.append(prefixHashMix(session_seed,
                                        static_cast<uint64_t>(2 * t)),
@@ -108,6 +127,7 @@ generateConversationTrace(const TraceConfig& cfg, uint64_t seed)
             r.arrival = static_cast<dam::Cycle>(std::llround(arrival));
             r.promptLen = chain.tokens;
             r.outputLen = output;
+            r.priority = priority;
             r.promptBlocks = chain.tokens / kPrefixBlockTokens;
 
             // Assistant turn t: the generated output joins the context
@@ -189,6 +209,7 @@ generateTrace(const TraceConfig& cfg, uint64_t seed)
                                 cfg.promptMin, cfg.promptMax);
         r.outputLen = sampleLen(rng, cfg.outputMean, cfg.outputSigma,
                                 cfg.outputMin, cfg.outputMax);
+        r.priority = samplePriority(rng, cfg);
         if (cfg.deadlineCycles > 0)
             r.deadlineAt = r.arrival + cfg.deadlineCycles;
         reqs.push_back(r);

@@ -23,7 +23,23 @@ enum class ReqState : uint8_t {
     Finished,
     Failed, ///< terminal: its replica crashed (may be retried elsewhere)
     Shed,   ///< terminal: dropped by the admission policy
+    /**
+     * Terminal *here*: drained off a degraded replica by the resilience
+     * tier, carrying its KV to a healthy one. Like Failed it marks an
+     * incarnation that ended without completing, but the work was
+     * handed off rather than lost — the cluster reschedules it with a
+     * modeled KV-transfer cost instead of a client-visible failure.
+     */
+    Migrated,
 };
+
+/**
+ * Request priority class for the brown-out ladder: under overload the
+ * cluster sheds Low first, then caps everyone below High, and at the
+ * top rung refuses all but High. Normal is the default everywhere so a
+ * priority-blind build behaves identically.
+ */
+enum class ReqPriority : uint8_t { Low, Normal, High };
 
 /**
  * Tokens per prefix-cache block. Prompt content is identified by a
@@ -92,6 +108,8 @@ struct Request
     dam::Cycle deadlineAt = 0;
     /** Submission attempt (0 = original; bumped per cluster retry). */
     int64_t attempt = 0;
+    /** Brown-out class; Normal keeps priority-blind builds identical. */
+    ReqPriority priority = ReqPriority::Normal;
 
     // ---- dynamic serving state --------------------------------------
     ReqState state = ReqState::Queued;
@@ -110,9 +128,32 @@ struct Request
      * from. Fixed for the request's lifetime once admitted.
      */
     int64_t cachedPrefixTokens = 0;
+    /**
+     * Prompt tokens whose KV arrives over the wire instead of being
+     * recomputed: migrated KV shards and cross-replica prefix-cache
+     * fetches. The transfer latency is charged by the cluster before
+     * the incarnation re-arrives; here the tokens only skip prefill
+     * compute — unlike cachedPrefixTokens they are NOT resident in the
+     * local cache, so they reserve KV budget like any other token.
+     */
+    int64_t remoteKvTokens = 0;
 
     /** Current KV context length (prompt + generated so far). */
     int64_t contextLen() const { return promptLen + generated; }
+
+    /**
+     * Prompt tokens that skip prefill compute: the better of the local
+     * cache hit and the remotely transferred KV (they overlap — both
+     * cover a prefix of the prompt). Capped like cachedPrefixTokens so
+     * the first output token always has a compute event.
+     */
+    int64_t prefillSkipTokens() const
+    {
+        int64_t remote = remoteKvTokens;
+        if (remote > promptLen - 1)
+            remote = promptLen - 1;
+        return cachedPrefixTokens > remote ? cachedPrefixTokens : remote;
+    }
 
     /**
      * KV tokens this request must newly reserve at admission: the
@@ -132,12 +173,13 @@ struct Request
 
     bool done() const { return state == ReqState::Finished; }
 
-    /** Finished, failed, or shed: no further service possible here. */
+    /** Finished, failed, shed, or migrated away: no further service
+     *  possible on this replica. */
     bool
     terminal() const
     {
         return state == ReqState::Finished || state == ReqState::Failed ||
-               state == ReqState::Shed;
+               state == ReqState::Shed || state == ReqState::Migrated;
     }
 };
 
@@ -179,6 +221,17 @@ struct TraceConfig
      * traces that are bit-identical to previous builds.
      */
     dam::Cycle deadlineCycles = 0;
+
+    /**
+     * Priority class mix for brown-out studies. Both 0 (the default)
+     * draws nothing from the RNG and marks every request Normal, so
+     * priority-free traces stay bit-identical to previous builds. With
+     * either fraction positive, each request draws one uniform (after
+     * its length draws): u < lowPriorityFrac → Low, u >
+     * 1 - highPriorityFrac → High, Normal between.
+     */
+    double lowPriorityFrac = 0;
+    double highPriorityFrac = 0;
 
     // ---- conversation model (numSessions > 0 switches it on) ---------
     /**

@@ -159,6 +159,135 @@ TEST(FaultPlan, TimelineWindowsAndEdges)
     EXPECT_TRUE(p.forReplica(1).empty());
 }
 
+TEST(FaultPlan, MttrZeroMakesEveryCrashPermanentAndTruncates)
+{
+    // MTTR 0 means crashes never repair: generation must emit at most
+    // one crash per replica (everything after a permanent crash is
+    // unreachable) and each must carry recoverAt == 0.
+    FaultPlanConfig fc;
+    fc.mtbfCycles = 10'000'000;
+    fc.mttrCycles = 0;
+    fc.horizonCycles = 200'000'000;
+    FaultPlan p = generateFaultPlan(fc, 4, 7);
+    ASSERT_FALSE(p.crashes.empty());
+    int64_t per_replica[4] = {0, 0, 0, 0};
+    for (const FaultEvent& e : p.crashes) {
+        EXPECT_EQ(e.recoverAt, 0u);
+        ASSERT_GE(e.replica, 0);
+        ASSERT_LT(e.replica, 4);
+        ++per_replica[e.replica];
+    }
+    for (int64_t n : per_replica)
+        EXPECT_LE(n, 1);
+    // The permanent timeline normalizes and stays down forever.
+    ReplicaFaultTimeline t = p.forReplica(p.crashes[0].replica);
+    EXPECT_TRUE(t.downAt(p.crashes[0].failAt));
+    EXPECT_TRUE(t.downAt(ReplicaFaultTimeline::kNoEvent - 1));
+}
+
+TEST(FaultPlan, HorizonShorterThanFirstFailureYieldsEmptyPlan)
+{
+    // Draws are >= 1 cycle, so a 1-cycle horizon precedes every
+    // possible failure — the plan must come back empty for any seed.
+    FaultPlanConfig fc;
+    fc.mtbfCycles = 5'000'000;
+    fc.mttrCycles = 1'000'000;
+    fc.slowdownMtbfCycles = 4'000'000;
+    fc.horizonCycles = 1;
+    for (uint64_t seed : {1u, 42u, 999u})
+        EXPECT_TRUE(generateFaultPlan(fc, 8, seed).empty()) << seed;
+}
+
+TEST(FaultPlan, NormalizeRejectsOverlapsAndMalformedWindows)
+{
+    // Overlapping crash windows.
+    {
+        ReplicaFaultTimeline t;
+        t.downs.push_back({100, 300});
+        t.downs.push_back({200, 400});
+        EXPECT_THROW(t.normalize(), FatalError);
+    }
+    // A permanent crash followed by a later event.
+    {
+        ReplicaFaultTimeline t;
+        t.downs.push_back({100, 0});
+        t.downs.push_back({200, 300});
+        EXPECT_THROW(t.normalize(), FatalError);
+    }
+    // Recovery not after its crash.
+    {
+        ReplicaFaultTimeline t;
+        t.downs.push_back({100, 100});
+        EXPECT_THROW(t.normalize(), FatalError);
+    }
+    // Overlapping slowdown windows.
+    {
+        ReplicaFaultTimeline t;
+        t.slowdowns.push_back({100, 300, 0.5});
+        t.slowdowns.push_back({200, 400, 0.5});
+        EXPECT_THROW(t.normalize(), FatalError);
+    }
+    // Empty slowdown window and out-of-range factor.
+    {
+        ReplicaFaultTimeline t;
+        t.slowdowns.push_back({100, 100, 0.5});
+        EXPECT_THROW(t.normalize(), FatalError);
+    }
+    {
+        ReplicaFaultTimeline t;
+        t.slowdowns.push_back({100, 200, 1.5});
+        EXPECT_THROW(t.normalize(), FatalError);
+    }
+    // Back-to-back (touching) windows are legal: [100,200) + [200,300).
+    {
+        ReplicaFaultTimeline t;
+        t.downs.push_back({100, 200});
+        t.downs.push_back({200, 300});
+        t.slowdowns.push_back({300, 400, 0.5});
+        t.slowdowns.push_back({400, 500, 0.5});
+        EXPECT_NO_THROW(t.normalize());
+    }
+}
+
+TEST(FaultPlan, NextEventAfterAlwaysAdvancesToNoEvent)
+{
+    // Walking nextEventAfter from 0 must strictly increase and reach
+    // kNoEvent within the timeline's edge count — the loop-termination
+    // property the engine's delivery loop depends on.
+    auto walk = [](ReplicaFaultTimeline t, size_t max_edges) {
+        t.normalize();
+        dam::Cycle c = 0;
+        size_t steps = 0;
+        while (true) {
+            const dam::Cycle n = t.nextEventAfter(c);
+            if (n == ReplicaFaultTimeline::kNoEvent)
+                break;
+            EXPECT_GT(n, c) << "nextEventAfter did not advance";
+            c = n;
+            ++steps;
+            if (steps > max_edges) {
+                ADD_FAILURE() << "nextEventAfter loops";
+                break;
+            }
+        }
+        return steps;
+    };
+    ReplicaFaultTimeline mixed;
+    mixed.downs.push_back({100, 200});
+    mixed.downs.push_back({500, 700});
+    mixed.slowdowns.push_back({300, 400, 0.5});
+    EXPECT_EQ(walk(mixed, 6), 6u); // every edge visited exactly once
+    ReplicaFaultTimeline permanent;
+    permanent.downs.push_back({100, 0});
+    EXPECT_EQ(walk(permanent, 1), 1u); // failAt only; no recovery edge
+    EXPECT_EQ(walk({}, 0), 0u);        // empty timeline: no events
+    // Probing at or past the last edge returns kNoEvent immediately.
+    mixed.normalize();
+    EXPECT_EQ(mixed.nextEventAfter(700), ReplicaFaultTimeline::kNoEvent);
+    EXPECT_EQ(mixed.nextEventAfter(ReplicaFaultTimeline::kNoEvent - 1),
+              ReplicaFaultTimeline::kNoEvent);
+}
+
 // ---- retry policy ------------------------------------------------------
 
 TEST(Retry, ExponentialBackoffBoundsAttemptsAndRespectsDeadline)
