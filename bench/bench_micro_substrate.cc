@@ -33,7 +33,7 @@ BM_ChannelPingPong(benchmark::State& state)
                                     StreamShape({Dim::fixed(n)}),
                                     DataType::tile(1, 64));
         auto& sink = g.add<SinkOp>("sink", src.out());
-        g.run();
+        (void)g.run();
         benchmark::DoNotOptimize(sink.dataCount());
     }
     state.SetItemsProcessed(state.iterations() * n);
@@ -65,7 +65,7 @@ BM_MapPipeline(benchmark::State& state)
             cur = m.out();
         }
         auto& sink = g.add<SinkOp>("sink", cur);
-        g.run();
+        (void)g.run();
         benchmark::DoNotOptimize(sink.dataCount());
     }
     state.SetItemsProcessed(state.iterations() * n * 4);

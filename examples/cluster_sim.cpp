@@ -7,10 +7,14 @@
  * over the union of raw samples), then the per-replica breakdown for
  * the work-aware router, showing what the shards actually carried.
  *
- *   ./cluster_sim [--seed N] [--threads N]
+ *   ./cluster_sim [--seed N] [--threads N] [--verify]
  *                 [--trace out.json] [--trace-level off|request|op|full]
  *                 [--mtbf N | --fault-plan SPEC] [--slowdown-mtbf N]
  *                 [--deadline N] [--resilience]
+ *
+ * --verify statically checks every freshly built iteration graph on
+ * every replica (src/verify) before running it; read-only, so output
+ * bytes are identical with and without the flag.
  *
  * Tracing covers the least-queued-routing run: one sink per replica,
  * merged in replica order, so the output bytes do not depend on
@@ -63,10 +67,13 @@ main(int argc, char** argv)
     int64_t deadline = 0;
     bool resilience = false;
     std::string plan_spec;
+    bool verify_graphs = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--resilience")
             resilience = true;
+        if (a == "--verify")
+            verify_graphs = true;
         if (i + 1 >= argc)
             break;
         if (a == "--threads")
@@ -113,6 +120,10 @@ main(int argc, char** argv)
     ClusterConfig cc;
     cc.replicas = 4;
     cc.threads = threads;
+    // Static graph verification on every replica engine (read-only;
+    // output bytes are identical with and without the flag).
+    if (verify_graphs)
+        cc.engine.verifyGraphs = true;
 
     FaultPlan plan;
     if (!plan_spec.empty()) {

@@ -15,7 +15,11 @@
  * output bytes — which is what lets CI pin this binary with a byte
  * comparison of two runs.
  *
- *   ./fault_sim [--seed N] [--threads N]
+ *   ./fault_sim [--seed N] [--threads N] [--verify]
+ *
+ * --verify statically checks every freshly built iteration graph
+ * (src/verify) before running it; read-only, so output bytes are
+ * identical with and without the flag.
  */
 #include <cstdlib>
 #include <iostream>
@@ -52,9 +56,13 @@ main(int argc, char** argv)
 {
     const uint64_t seed = seedFromArgsOrEnv(argc, argv);
     int64_t threads = 0;
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::string(argv[i]) == "--threads")
+    bool verify_graphs = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--verify")
+            verify_graphs = true;
+        else if (std::string(argv[i]) == "--threads" && i + 1 < argc)
             threads = std::atoll(argv[i + 1]);
+    }
     if (threads < 0) {
         std::cerr << "fault_sim: --threads must be >= 0\n";
         return 2;
@@ -73,6 +81,8 @@ main(int argc, char** argv)
     cc.replicas = 4;
     cc.threads = threads;
     cc.routing = RouteKind::LeastQueued;
+    if (verify_graphs)
+        cc.engine.verifyGraphs = true;
 
     QueueDepthPolicy policy;
 

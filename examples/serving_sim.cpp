@@ -6,8 +6,13 @@
  * driven reallocation. Prints TTFT/TPOT p50/p99, throughput, SLO
  * goodput, compute utilization, and a bucketed utilization timeline.
  *
- *   ./serving_sim [--seed N] [--requests N]
+ *   ./serving_sim [--seed N] [--requests N] [--verify]
  *                 [--trace out.json] [--trace-level off|request|op|full]
+ *
+ * --verify statically checks every freshly built iteration graph
+ * (structure, shape/dtype flow, deadlock-freedom, determinism — see
+ * src/verify) before running it. Verification is read-only: output
+ * bytes are identical with and without the flag.
  *
  * Tracing covers the queue-depth-policy run (the interesting one):
  * request lifecycle instants and counters at level `request`, plus
@@ -37,9 +42,13 @@ main(int argc, char** argv)
         return 2;
     }
     int64_t num_requests = 240;
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::string(argv[i]) == "--requests")
+    bool verify_graphs = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--verify")
+            verify_graphs = true;
+        else if (std::string(argv[i]) == "--requests" && i + 1 < argc)
             num_requests = std::atoll(argv[i + 1]);
+    }
     if (num_requests < 1) {
         std::cerr << "serving_sim: --requests must be positive\n";
         return 2;
@@ -54,6 +63,8 @@ main(int argc, char** argv)
 
     EngineConfig ec;
     ec.seed = deriveSeed(1);
+    if (verify_graphs)
+        ec.verifyGraphs = true;
 
     std::cout << "serving " << tc.numRequests
               << " requests (Poisson with on/off bursts, seed " << seed

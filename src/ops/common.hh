@@ -62,6 +62,34 @@ struct StreamPort
     }
 };
 
+/**
+ * One stream endpoint as declared by its operator, for static analysis
+ * (src/verify). Operators report every port they bound in their
+ * constructor — inputs they consume, outputs they produce — so the
+ * verifier can cross-check the op-side view against the channel
+ * endpoint tables and diff shapes/dtypes across each channel without
+ * executing anything.
+ */
+struct PortDecl
+{
+    const dam::Channel* ch = nullptr;
+    StreamShape shape;
+    DataType dtype;
+    bool isInput = false;
+
+    static PortDecl
+    input(const StreamPort& p)
+    {
+        return PortDecl{p.ch, p.shape, p.dtype, true};
+    }
+
+    static PortDecl
+    output(const StreamPort& p)
+    {
+        return PortDecl{p.ch, p.shape, p.dtype, false};
+    }
+};
+
 struct OffChipTensor;
 
 /**
@@ -113,6 +141,33 @@ class OpBase : public dam::Context
 
     /** Compute bandwidth allocated to this operator (FLOPs/cycle). */
     virtual int64_t allocatedComputeBw() const { return 0; }
+
+    /**
+     * Append one PortDecl per stream endpoint this operator bound in its
+     * constructor. The declarations are the operator-side ground truth
+     * the static verifier checks against the channel endpoint tables;
+     * an operator that binds a channel but does not declare it here
+     * shows up as a structural finding.
+     */
+    virtual void
+    collectPorts(std::vector<PortDecl>& out) const
+    {
+        (void)out;
+    }
+
+    /**
+     * Tokens this operator emits on @p out before consuming anything —
+     * the static counterpart of initial tokens on a marked dataflow
+     * graph. DispatcherOp primes its selector stream this way (Figure
+     * 16); the deadlock pass uses these credits to prove its feedback
+     * cycle live instead of flagging it.
+     */
+    virtual int64_t
+    primingTokens(const dam::Channel* out) const
+    {
+        (void)out;
+        return 0;
+    }
 
     // Runtime measurements, populated during simulation.
     int64_t measuredFlops() const { return flops_; }

@@ -21,6 +21,11 @@
 
 namespace step {
 
+namespace verify {
+struct VerifyOptions;
+struct VerifyReport;
+} // namespace verify
+
 /** Result of one simulation run. */
 struct SimResult
 {
@@ -135,16 +140,32 @@ class Graph
     sym::Expr onChipMemExpr() const;
 
     /** Run the simulation; callable once per graph build. */
-    SimResult run();
+    [[nodiscard]] SimResult run();
 
     /**
      * Run the simulation on an externally owned scheduler (reset before
      * use). Lets a long-lived driver such as the serving engine reuse one
      * scheduler across many per-iteration graphs.
      */
-    SimResult run(dam::Scheduler& sched);
+    [[nodiscard]] SimResult run(dam::Scheduler& sched);
 
-    const std::vector<OpBase*>& ops() const { return ops_; }
+    /**
+     * Statically analyze the current build without executing it
+     * (structural well-formedness, shape/dtype flow, deadlock-freedom,
+     * determinism audit — see src/verify/verifier.hh). Read-only:
+     * verification never changes simulation behavior or output bytes.
+     */
+    [[nodiscard]] verify::VerifyReport
+    verify(const verify::VerifyOptions& opts) const;
+
+    [[nodiscard]] const std::vector<OpBase*>& ops() const { return ops_; }
+
+    /** Live channels of the current build, in creation order. */
+    [[nodiscard]] const std::vector<dam::Channel*>&
+    channels() const
+    {
+        return channels_;
+    }
 
     /** Total tokens pushed across all channels (event count). */
     uint64_t totalChannelTokens() const;

@@ -7,6 +7,8 @@
  */
 #pragma once
 
+#include <algorithm>
+
 #include "ops/common.hh"
 #include "ops/graph.hh"
 
@@ -29,6 +31,15 @@ class PartitionOp : public OpBase
 
     dam::SimTask run() override;
     void rearm(const RearmSpec& spec) override;
+
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(in_));
+        out.push_back(PortDecl::input(sel_));
+        for (const StreamPort& o : outs_)
+            out.push_back(PortDecl::output(o));
+    }
 
   private:
     StreamPort in_;
@@ -56,6 +67,15 @@ class ReassembleOp : public OpBase
     dam::SimTask run() override;
     void rearm(const RearmSpec& spec) override;
 
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        for (const StreamPort& i : ins_)
+            out.push_back(PortDecl::input(i));
+        out.push_back(PortDecl::input(sel_));
+        out.push_back(PortDecl::output(out_));
+    }
+
   private:
     std::vector<StreamPort> ins_;
     StreamPort sel_;
@@ -82,6 +102,15 @@ class EagerMergeOp : public OpBase
 
     dam::SimTask run() override;
     void rearm(const RearmSpec& spec) override;
+
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        for (const StreamPort& i : ins_)
+            out.push_back(PortDecl::input(i));
+        out.push_back(PortDecl::output(out_));
+        out.push_back(PortDecl::output(selOut_));
+    }
 
   private:
     /** Pick the available input with the earliest head token. */
@@ -114,6 +143,27 @@ class DispatcherOp : public OpBase
     StreamPort out() const { return out_; }
 
     dam::SimTask run() override;
+
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(completions_));
+        out.push_back(PortDecl::output(out_));
+    }
+
+    /**
+     * The first min(regions, total) selectors are emitted round-robin
+     * before any completion is read — the initial tokens that keep the
+     * Figure-16 feedback cycle live.
+     */
+    int64_t
+    primingTokens(const dam::Channel* out) const override
+    {
+        if (out != out_.ch)
+            return 0;
+        return static_cast<int64_t>(
+            std::min<uint64_t>(regions_, total_));
+    }
 
   private:
     StreamPort completions_;

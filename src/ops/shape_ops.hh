@@ -26,6 +26,13 @@ class FlattenOp : public OpBase
     dam::SimTask run() override;
     void rearm(const RearmSpec& spec) override;
 
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(in_));
+        out.push_back(PortDecl::output(out_));
+    }
+
   private:
     StreamPort in_;
     size_t lo_;
@@ -54,6 +61,15 @@ class ReshapeOp : public OpBase
     dam::SimTask run() override;
     void rearm(const RearmSpec& spec) override;
 
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(in_));
+        out.push_back(PortDecl::output(out_));
+        if (hasPadStream())
+            out.push_back(PortDecl::output(padOut_));
+    }
+
   private:
     StreamPort in_;
     size_t rank_;
@@ -74,6 +90,13 @@ class PromoteOp : public OpBase
     StreamPort out() const { return out_; }
     dam::SimTask run() override;
 
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(in_));
+        out.push_back(PortDecl::output(out_));
+    }
+
   private:
     StreamPort in_;
     StreamPort out_;
@@ -91,6 +114,14 @@ class ExpandOp : public OpBase
 
     StreamPort out() const { return out_; }
     dam::SimTask run() override;
+
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(in_));
+        out.push_back(PortDecl::input(ref_));
+        out.push_back(PortDecl::output(out_));
+    }
 
   private:
     StreamPort in_;
@@ -110,6 +141,13 @@ class ExpandStaticOp : public OpBase
     StreamPort out() const { return out_; }
     dam::SimTask run() override;
 
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(in_));
+        out.push_back(PortDecl::output(out_));
+    }
+
   private:
     StreamPort in_;
     int64_t count_;
@@ -127,6 +165,13 @@ class RepeatOp : public OpBase
     dam::SimTask run() override;
     void rearm(const RearmSpec& spec) override;
 
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(in_));
+        out.push_back(PortDecl::output(out_));
+    }
+
   private:
     StreamPort in_;
     int64_t count_;
@@ -142,6 +187,14 @@ class ZipOp : public OpBase
 
     StreamPort out() const { return out_; }
     dam::SimTask run() override;
+
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        for (const StreamPort& i : ins_)
+            out.push_back(PortDecl::input(i));
+        out.push_back(PortDecl::output(out_));
+    }
 
   private:
     std::vector<StreamPort> ins_;
@@ -162,6 +215,14 @@ class FilterOp : public OpBase
     StreamPort out() const { return out_; }
     dam::SimTask run() override;
     void rearm(const RearmSpec& spec) override;
+
+    void
+    collectPorts(std::vector<PortDecl>& out) const override
+    {
+        out.push_back(PortDecl::input(in_));
+        out.push_back(PortDecl::input(mask_));
+        out.push_back(PortDecl::output(out_));
+    }
 
   private:
     StreamPort in_;

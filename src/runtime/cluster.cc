@@ -5,7 +5,6 @@
 #include <deque>
 #include <exception>
 #include <limits>
-#include <map>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -517,15 +516,6 @@ ServingCluster::run(std::vector<Request>& reqs)
     static const ExponentialBackoffRetry default_retry;
     const RetryPolicy* retry = cfg_.retry ? cfg_.retry : &default_retry;
     std::set<std::pair<size_t, int64_t>> decided;
-    // (orig, attempt) -> the source incarnation's fate: which replica
-    // ended it, and whether it left as a migration (already counted
-    // there) or a failure (reclassified failed -> retried below).
-    struct IssueSrc
-    {
-        size_t replica = 0;
-        bool migrated = false;
-    };
-    std::map<std::pair<size_t, int64_t>, IssueSrc> issued;
     std::vector<int64_t> load(R, 0);
     for (size_t i = 0; i < reqs.size(); ++i)
         load[static_cast<size_t>(assignment[i])] +=
@@ -642,7 +632,6 @@ ServingCluster::run(std::vector<Request>& reqs)
             if (best < 0)
                 continue;
             const auto tgt = static_cast<size_t>(best);
-            issued.emplace(key, IssueSrc{f.replica, f.migrated});
             Request inc = reqs[f.orig]; // pristine: waves never mutate
             inc.arrival = *re;
             inc.attempt = f.attempt + 1;
@@ -753,25 +742,18 @@ ServingCluster::run(std::vector<Request>& reqs)
             if (m.attempt > fin[m.orig].attempt)
                 fin[m.orig] = {m.attempt, r, k};
         }
-    if (!resilient) {
-        for (size_t r = 0; r < R; ++r)
-            for (size_t k = 0; k < work[r].size(); ++k) {
-                const Incarnation& m = meta[r][k];
-                if (m.attempt < fin[m.orig].attempt)
-                    STEP_ASSERT(work[r][k].state == ReqState::Failed,
-                                "superseded incarnation of request "
-                                    << work[r][k].id
-                                    << " did not stay failed");
-            }
-    } else {
-        // Under the resilience tier an incarnation's fate can
-        // legitimately flip between waves: a later wave's extra
-        // arrivals shift the bandwidth split, and a request that was
-        // mid-prefill at a drain edge (-> Migrated) may by then have
-        // finished, failed, or been shed. The per-wave issue log is
-        // therefore not a reliable accounting source; instead, every
-        // replica's summary is recomputed below from its *final*
-        // timeline, with superseded slots reinterpreted:
+    if (resilient || have_faults) {
+        // An incarnation's fate can legitimately flip between waves: a
+        // later wave's extra arrivals shift the bandwidth split, and a
+        // request that was mid-prefill at a drain edge (-> Migrated)
+        // may by then have finished, failed, or been shed. The same
+        // holds on the plain failover path — a retry landing on a
+        // replica changes its timeline, and the superseded incarnation
+        // re-simulated under that timeline can come out Finished. The
+        // per-wave issue log is therefore not a reliable accounting
+        // source; instead, every replica's summary is recomputed below
+        // from its *final* timeline, with superseded slots
+        // reinterpreted:
         //   - Failed/Migrated with a successor: transparent handoff
         //     (retried resp. migrated, outside availability);
         //   - Finished/Shed with a successor: phantom duplicate — the
@@ -823,18 +805,6 @@ ServingCluster::run(std::vector<Request>& reqs)
         const dam::Cycle arrival = reqs[i].arrival;
         reqs[i] = work[fin[i].replica][fin[i].slot];
         reqs[i].arrival = arrival;
-    }
-
-    // A failure that produced a retry is transparent failover, not a
-    // lost request: reclassify it at the replica that failed it. (The
-    // resilient path derived this from the final timelines above.)
-    if (!resilient) {
-        for (const auto& [key, src] : issued) {
-            ServingSummary& s = results[src.replica].result.summary;
-            s.failedRequests -= 1;
-            s.retriedRequests += 1;
-            refreshAvailability(s);
-        }
     }
 
     // Merge in replica-index order: the aggregate depends only on the

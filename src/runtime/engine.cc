@@ -7,6 +7,7 @@
 #include "support/error.hh"
 #include "support/rng.hh"
 #include "trace/trace.hh"
+#include "verify/verifier.hh"
 
 namespace step::runtime {
 
@@ -523,10 +524,12 @@ ServingEngine::run(std::vector<Request>& reqs)
                 // simulated span, so successive bases stay monotone.
                 trace_->setTimeBase(now);
             }
+            static constexpr verify::VerifyOptions kVerifyAll{};
             SimResult sim = runDecoderIteration(
                 dp, spec, &sched_,
                 cfg_.recycleGraphs ? iterGraph_.get() : nullptr,
-                cfg_.recycleGraphs ? &rearmHandles_ : nullptr);
+                cfg_.recycleGraphs ? &rearmHandles_ : nullptr,
+                cfg_.verifyGraphs ? &kVerifyAll : nullptr);
             iter_cycles = sim.cycles * static_cast<dam::Cycle>(
                 cfg_.numLayers);
             decode_flops = sim.totalFlops * cfg_.numLayers;

@@ -114,6 +114,19 @@ struct EngineConfig
      */
     bool recycleGraphs = true;
 
+    /**
+     * Statically verify every freshly built iteration graph — the first
+     * build and each rearm structural-key fallback — before running it
+     * (src/verify; error findings are fatal). Read-only, so enabling it
+     * is byte-identical to disabling it on a well-formed graph; on by
+     * default in debug builds, opt-in (--verify on the sims) elsewhere.
+     */
+#ifndef NDEBUG
+    bool verifyGraphs = true;
+#else
+    bool verifyGraphs = false;
+#endif
+
     EngineConfig();
 };
 

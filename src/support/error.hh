@@ -33,7 +33,7 @@ class PanicError : public std::logic_error
 namespace detail {
 
 /** Format a message with file/line context. */
-inline std::string
+[[nodiscard]] inline std::string
 formatWhere(const char* kind, const char* file, int line,
             const std::string& msg)
 {

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Static analysis over a built ops::Graph — the machine-checkable
+ * well-formedness oracle the graph-rewrite/fusion pass will invoke
+ * after every rewrite. The verifier never executes the graph: it walks
+ * the channel endpoint tables and the operator-declared ports
+ * (OpBase::collectPorts) and emits structured findings.
+ *
+ * Passes (each independently toggleable via VerifyOptions):
+ *
+ *  - structural well-formedness: every channel has exactly one producer
+ *    and one consumer endpoint registered in the owning graph, no
+ *    dangling ports, positive capacities, and the op-side port
+ *    declarations agree with the channel endpoint tables (the property
+ *    recycle()/rearm() must preserve).
+ *
+ *  - shape/dtype flow: for every channel, the producer's declared
+ *    output view must be compatible (StreamShape::compatibleWith +
+ *    dtype equality) with the consumer's declared input view.
+ *
+ *  - deadlock-freedom: build the op-level channel dependency graph,
+ *    find its strongly connected components, and for each cycle
+ *    conservatively check the initial credits (OpBase::primingTokens,
+ *    the static counterpart of initial tokens on a marked dataflow
+ *    graph) against the cycle's buffering; a cycle with no initial
+ *    tokens, or more initial tokens than its channels can buffer, is
+ *    reported with a minimal cycle witness — the static counterpart of
+ *    the scheduler's runtime deadlock report.
+ *
+ *  - determinism audit: flag operators whose output order can depend
+ *    on scheduler interleaving (EagerMerge in legacy poll mode), so
+ *    the seeded-replay guarantee is auditable rather than folklore.
+ */
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace step {
+
+class Graph;
+
+namespace verify {
+
+enum class Severity
+{
+    Warning,
+    Error,
+};
+
+[[nodiscard]] const char* severityName(Severity s);
+
+/** One verification finding, pinned to an op and/or channel. */
+struct Finding
+{
+    Severity severity = Severity::Error;
+    /** Stable rule identifier, e.g. "structural.no-consumer". */
+    std::string ruleId;
+    /** Operator the finding is attached to ("" when channel-only). */
+    std::string opName;
+    /** Channel the finding is attached to ("" when op-only). */
+    std::string channelName;
+    /**
+     * Machine-checkable evidence: for deadlock findings the minimal
+     * cycle as "ch1 -> ch2 -> ... -> ch1"; for shape findings the two
+     * disagreeing views; for structural findings the endpoint state.
+     */
+    std::string witness;
+    /** What to do about it. */
+    std::string hint;
+};
+
+/** Pass toggles; default-constructed runs everything. */
+struct VerifyOptions
+{
+    bool structural = true;
+    bool shapeFlow = true;
+    bool deadlock = true;
+    bool determinism = true;
+};
+
+struct VerifyReport
+{
+    std::vector<Finding> findings;
+    /** Ops / channels examined (for the step_lint table). */
+    size_t opsChecked = 0;
+    size_t channelsChecked = 0;
+
+    [[nodiscard]] size_t errors() const;
+    [[nodiscard]] size_t warnings() const;
+    [[nodiscard]] bool clean() const { return findings.empty(); }
+
+    /** Human-readable rendering, one finding per line. */
+    void renderText(std::ostream& os) const;
+    [[nodiscard]] std::string toText() const;
+
+    /** JSON rendering (the schema documented in README). */
+    [[nodiscard]] std::string toJson() const;
+};
+
+/**
+ * Analyzes a built graph without executing it. The graph must outlive
+ * the verifier. Verification is read-only: a verifier-on run is
+ * byte-identical to a verifier-off run.
+ */
+class GraphVerifier
+{
+  public:
+    explicit GraphVerifier(const Graph& g) : g_(g) {}
+
+    [[nodiscard]] VerifyReport run(const VerifyOptions& opts = {}) const;
+
+  private:
+    const Graph& g_;
+};
+
+} // namespace verify
+} // namespace step

@@ -6,6 +6,7 @@
 #include "ops/source_sink.hh"
 #include "support/error.hh"
 #include "trace/trace.hh"
+#include "verify/verifier.hh"
 
 namespace step {
 
@@ -236,10 +237,25 @@ rearmDecoderLayer(Graph& g, const DecoderRearmHandles& h,
     rearmMoeLayer(h.moe, moeParamsFor(p, B), spec.trace);
 }
 
+namespace {
+
+/** Verify a freshly built iteration graph; fatal on error findings. */
+void
+verifyIterationGraph(const Graph& g, const verify::VerifyOptions& opts)
+{
+    verify::VerifyReport report = g.verify(opts);
+    if (report.errors() > 0)
+        stepFatal("decoder iteration graph failed static verification:\n"
+                  << report.toText());
+}
+
+} // namespace
+
 SimResult
 runDecoderIteration(const DecoderParams& p, const IterationSpec& spec,
                     dam::Scheduler* sched, Graph* reuse,
-                    DecoderRearmHandles* rearm)
+                    DecoderRearmHandles* rearm,
+                    const verify::VerifyOptions* vopts)
 {
     const auto B = static_cast<int64_t>(spec.kvLens.size());
     STEP_ASSERT(B > 0, "decoder iteration over an empty batch");
@@ -249,7 +265,8 @@ runDecoderIteration(const DecoderParams& p, const IterationSpec& spec,
             DecoderStructKey key = decoderStructKey(p, B);
             if (rearm->valid && rearm->key == key) {
                 // Fast path: patch the recycled graph in place instead
-                // of re-running ~190 operator constructors.
+                // of re-running ~190 operator constructors. The
+                // structure is the verified one, so no re-verification.
                 ++rearm->rearms;
                 rearmDecoderLayer(*reuse, *rearm, p, spec);
             } else {
@@ -262,10 +279,14 @@ runDecoderIteration(const DecoderParams& p, const IterationSpec& spec,
                                   rearm);
                 rearm->key = key;
                 rearm->valid = true;
+                if (vopts)
+                    verifyIterationGraph(*reuse, *vopts);
             }
         } else {
             reuse->recycle(sc);
             buildDecoderLayer(*reuse, p, spec.trace, spec.kvLens);
+            if (vopts)
+                verifyIterationGraph(*reuse, *vopts);
         }
         if (sched)
             return reuse->run(*sched);
@@ -273,6 +294,8 @@ runDecoderIteration(const DecoderParams& p, const IterationSpec& spec,
     }
     Graph g(sc);
     buildDecoderLayer(g, p, spec.trace, spec.kvLens);
+    if (vopts)
+        verifyIterationGraph(g, *vopts);
     if (sched)
         return g.run(*sched);
     return g.run();

@@ -177,12 +177,20 @@ void rearmDecoderLayer(Graph& g, const DecoderRearmHandles& h,
  * skipped: the recycled graph is patched in place (rearmDecoderLayer)
  * — the fast path the serving engine runs on. On a key change the
  * handles are refreshed by a full recycle+rebuild.
+ *
+ * When @p vopts is non-null every fresh build — the cold path and the
+ * rearm structural-key fallback, but not the structure-preserving rearm
+ * itself — is statically verified (Graph::verify) before it runs; an
+ * error-severity finding raises FatalError with the rendered report.
+ * Verification is read-only, so a clean verified run is byte-identical
+ * to an unverified one.
  */
 SimResult runDecoderIteration(const DecoderParams& p,
                               const IterationSpec& spec,
                               dam::Scheduler* sched = nullptr,
                               Graph* reuse = nullptr,
-                              DecoderRearmHandles* rearm = nullptr);
+                              DecoderRearmHandles* rearm = nullptr,
+                              const verify::VerifyOptions* vopts = nullptr);
 
 /** Run @p layers decoder layers (fresh graph each) and aggregate. */
 EndToEndResult runEndToEnd(const DecoderParams& p, int64_t layers,

@@ -723,3 +723,48 @@ TEST(Metrics, MergeFaultCountersAcrossHealthyAndDeadReplicas)
     refreshAvailability(empty);
     EXPECT_DOUBLE_EQ(empty.availability, 1.0);
 }
+
+TEST(ClusterFaults, SeededMtbfPlanConvergesSupersededIncarnations)
+{
+    // Regression for the wave-convergence abort cluster_sim hit at
+    // `--mtbf 32000000` (default seed 42): when a crashed replica's
+    // failover retry landed while the original replica's wave later
+    // converged, the plain (non-resilience) accounting path asserted
+    // that the superseded incarnation stayed Failed — which does not
+    // hold once final-timeline recompute reconciles fates. The exact
+    // cluster_sim trace and seeded fault plan reproduce that schedule.
+    TraceConfig tc;
+    tc.numRequests = 480;
+    tc.arrivalsPerKcycle = 0.0048;
+    tc.burstPeriod = 16'000'000;
+    tc.burstDuty = 0.3;
+    tc.burstFactor = 4.0;
+    tc.promptSigma = 1.1;
+    tc.outputSigma = 0.9;
+
+    const auto probe = generateTrace(tc, deriveSeed(2));
+    FaultPlanConfig fc;
+    fc.mtbfCycles = 32'000'000;
+    fc.mttrCycles = 8'000'000;
+    fc.horizonCycles = probe.empty() ? 0 : probe.back().arrival * 2;
+
+    QueueDepthPolicy policy;
+    ClusterConfig cc;
+    cc.replicas = 4;
+    cc.faults = generateFaultPlan(fc, cc.replicas, deriveSeed(3));
+    ASSERT_FALSE(cc.faults.empty()) << "plan must deliver faults";
+
+    for (RouteKind routing : {RouteKind::RoundRobin,
+                              RouteKind::LeastQueued,
+                              RouteKind::HashAffinity}) {
+        SCOPED_TRACE(routeKindName(routing));
+        cc.routing = routing;
+        auto reqs = generateTrace(tc, deriveSeed(2));
+        ServingCluster cluster(cc, policy);
+        ClusterResult r = cluster.run(reqs);
+        expectAllAccounted(reqs, r.aggregate);
+        EXPECT_EQ(r.aggregate.completed + r.aggregate.failedRequests +
+                      r.aggregate.shedRequests,
+                  480);
+    }
+}

@@ -28,7 +28,7 @@ TEST(SourceSink, RoundTrip)
     auto& src = g.add<SourceOp>("src", toks, StreamShape::fixed({2, 2}),
                                 scalarTile());
     auto& sink = g.add<SinkOp>("sink", src.out(), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(tokensToString(sink.tokens()), tokensToString(toks));
     EXPECT_EQ(sink.dataCount(), 3u);
 }
@@ -43,7 +43,7 @@ TEST(Broadcast, CopiesToAllOutputs)
     auto& s0 = g.add<SinkOp>("s0", bc.out(0), true);
     auto& s1 = g.add<SinkOp>("s1", bc.out(1), true);
     auto& s2 = g.add<SinkOp>("s2", bc.out(2), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(tokensToString(s0.tokens()), tokensToString(toks));
     EXPECT_EQ(tokensToString(s1.tokens()), tokensToString(s2.tokens()));
 }
@@ -61,7 +61,7 @@ TEST(Map, ElementwiseKeepsShape)
     auto& m = g.add<MapOp>("m", std::vector<StreamPort>{src.out()}, twice,
                            16, scalarTile());
     auto& sink = g.add<SinkOp>("sink", m.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 2);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{2, 4, 6}));
     EXPECT_EQ(m.measuredFlops(), 3);
@@ -84,7 +84,7 @@ TEST(Map, TwoInputLockstep)
     auto& m = g.add<MapOp>("m", std::vector<StreamPort>{a.out(), b.out()},
                            addv, 16, scalarTile());
     auto& sink = g.add<SinkOp>("sink", m.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 1);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{11, 22, 33}));
 }
@@ -99,7 +99,7 @@ TEST(Accum, ReducesInnerDim)
     auto& acc = g.add<AccumOp>("acc", src.out(), 1, fns::zeroInit(1, 1, 1),
                                fns::addUpdate(), 16, scalarTile());
     auto& sink = g.add<SinkOp>("sink", acc.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 1);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{3, 12}));
 }
@@ -113,7 +113,7 @@ TEST(Accum, FullRankReduceEmitsOnDone)
     auto& acc = g.add<AccumOp>("acc", src.out(), 1, fns::zeroInit(1, 1, 1),
                                fns::addUpdate(), 16, scalarTile());
     auto& sink = g.add<SinkOp>("sink", acc.out(), true);
-    g.run();
+    (void)g.run();
     ASSERT_EQ(sink.dataCount(), 1u);
     EXPECT_FLOAT_EQ(sink.tokens()[0].value().tile().at(0, 0), 10.0f);
 }
@@ -135,7 +135,7 @@ TEST(Accum, RetileRowPacksDynamicTiles)
         "acc", src.out(), 1, fns::retileRowInit(2), fns::retileRowUpdate(),
         16, DataType::tile(Dim::ragged(), Dim::fixed(2)));
     auto& sink = g.add<SinkOp>("sink", acc.out(), true);
-    g.run();
+    (void)g.run();
     ASSERT_EQ(sink.dataCount(), 2u);
     const Tile& t0 = sink.tokens()[0].value().tile();
     EXPECT_EQ(t0.rows(), 3);
@@ -157,7 +157,7 @@ TEST(Scan, EmitsRunningState)
     auto& sc = g.add<ScanOp>("scan", src.out(), 1, fns::zeroInit(1, 1, 1),
                              fns::addUpdate(), 16, scalarTile());
     auto& sink = g.add<SinkOp>("sink", sc.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 2);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{1, 3, 6, 10, 20}));
 }
@@ -175,7 +175,7 @@ TEST(FlatMap, ExpandsElements)
                                 StreamShape({Dim::ragged()}),
                                 DataType::tile(1, 1));
     auto& sink = g.add<SinkOp>("sink", fm.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 2);
     ASSERT_EQ(out.children().size(), 2u);
     EXPECT_EQ(out.children()[0].children().size(), 2u);
@@ -196,7 +196,7 @@ TEST(Flatten, MergesInnerDims)
     EXPECT_EQ(fl.out().rank(), 2u);
     EXPECT_TRUE(fl.out().shape.inner(0).isRagged());
     auto& sink = g.add<SinkOp>("sink", fl.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 2);
     ASSERT_EQ(out.children().size(), 2u);
     EXPECT_EQ(out.children()[0].children().size(), 3u);
@@ -214,7 +214,7 @@ TEST(Reshape, PadsInnermostDim)
                                 std::optional<Value>(val(0)));
     auto& sink = g.add<SinkOp>("sink", rs.out(), true);
     auto& psink = g.add<SinkOp>("psink", rs.padOut(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 3);
     // [1, ceil(5/2)=3, 2] with one padded element.
     ASSERT_EQ(out.children().size(), 1u);
@@ -237,7 +237,7 @@ TEST(Reshape, ExactMultipleNoPadding)
                                 std::optional<Value>(val(0)));
     auto& sink = g.add<SinkOp>("sink", rs.out(), true);
     g.add<SinkOp>("psink", rs.padOut(), false);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 3);
     EXPECT_EQ(out.children()[0].children().size(), 2u);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{1, 2, 3, 4}));
@@ -252,7 +252,7 @@ TEST(Reshape, SplitsHigherStaticDim)
                                 StreamShape::fixed({4, 1}), scalarTile());
     auto& rs = g.add<ReshapeOp>("rs", src.out(), 1, 2);
     auto& sink = g.add<SinkOp>("sink", rs.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 3);
     ASSERT_EQ(out.children().size(), 2u);
     EXPECT_EQ(out.children()[0].children().size(), 2u);
@@ -267,7 +267,7 @@ TEST(Promote, AddsUnitOuterDim)
                                 scalarTile());
     auto& pr = g.add<PromoteOp>("pr", src.out());
     auto& sink = g.add<SinkOp>("sink", pr.out(), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(tokensToString(sink.tokens()),
               "Tile[1x1]{1}, Tile[1x1]{2}, S1, D");
     Nested out = decodeNested(sink.tokens(), 2);
@@ -284,7 +284,7 @@ TEST(Promote, EmptyStreamStaysEmpty)
                                 scalarTile());
     auto& pr = g.add<PromoteOp>("pr", src.out());
     auto& sink = g.add<SinkOp>("sink", pr.out(), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(tokensToString(sink.tokens()), "D");
 }
 
@@ -296,7 +296,7 @@ TEST(ExpandStatic, WidensInnermost)
                                 scalarTile());
     auto& ex = g.add<ExpandStaticOp>("ex", src.out(), 3);
     auto& sink = g.add<SinkOp>("sink", ex.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 2);
     EXPECT_EQ(test::leavesOf(out),
               (std::vector<float>{1, 1, 1, 2, 2, 2}));
@@ -318,7 +318,7 @@ TEST(Expand, FollowsReferenceStructure)
         scalarTile());
     auto& ex = g.add<ExpandOp>("ex", si.out(), sr.out(), 2);
     auto& sink = g.add<SinkOp>("sink", ex.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 3);
     EXPECT_EQ(test::leavesOf(out),
               (std::vector<float>{7, 7, 7, 7, 9, 9}));
@@ -333,7 +333,7 @@ TEST(Repeat, AddsInnerDim)
     auto& rp = g.add<RepeatOp>("rp", src.out(), 2);
     EXPECT_EQ(rp.out().rank(), 2u);
     auto& sink = g.add<SinkOp>("sink", rp.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 2);
     ASSERT_EQ(out.children().size(), 2u);
     EXPECT_EQ(out.children()[0].children().size(), 2u);
@@ -351,7 +351,7 @@ TEST(Zip, PairsAlignedStreams)
                               scalarTile());
     auto& z = g.add<ZipOp>("z", std::vector<StreamPort>{a.out(), b.out()});
     auto& sink = g.add<SinkOp>("sink", z.out(), true);
-    g.run();
+    (void)g.run();
     ASSERT_EQ(sink.dataCount(), 2u);
     const auto& tup = sink.tokens()[0].value().tupleElems();
     EXPECT_FLOAT_EQ(tup[0].tile().at(0, 0), 1.0f);
@@ -369,7 +369,7 @@ TEST(Filter, DropsMaskedElements)
                               scalarTile());
     auto& f = g.add<FilterOp>("f", d.out(), m.out());
     auto& sink = g.add<SinkOp>("sink", f.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 2);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{1, 3}));
 }

@@ -153,7 +153,7 @@ TEST(LinearLoad, RefStreamStructureLifts)
         std::array<int64_t, 2>{1, 1});
     EXPECT_EQ(ld.out().rank(), 4u);
     auto& sink = g.add<SinkOp>("sink", ld.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 4);
     ASSERT_EQ(out.children().size(), 2u);
     EXPECT_EQ(out.children()[1].children().size(), 2u);
@@ -238,7 +238,7 @@ TEST(Bufferize, GroupsByRankAndAllocates)
     EXPECT_EQ(buf.out().rank(), 1u);
     EXPECT_TRUE(buf.out().dtype.isBufferRef());
     auto& sink = g.add<SinkOp>("sink", buf.out(), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(sink.dataCount(), 2u);
     EXPECT_EQ(g.scratchpad().numAllocs(), 2u);
     const auto& b0 = g.scratchpad().get(
@@ -260,7 +260,7 @@ TEST(BufferizeStreamify, LinearReplayRoundTrip)
                                 test::scalarTile());
     auto& sf = g.add<StreamifyOp>("sf", buf.out(), ref.out(), 0);
     auto& sink = g.add<SinkOp>("sink", sf.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 2);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{1, 2, 3, 4, 5}));
     // Buffers released after use.
@@ -282,7 +282,7 @@ TEST(BufferizeStreamify, DynamicRereadCount)
         StreamShape({Dim::fixed(1), Dim::ragged()}), test::scalarTile());
     auto& sf = g.add<StreamifyOp>("sf", buf.out(), ref.out(), 1);
     auto& sink = g.add<SinkOp>("sink", sf.out(), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(sink.dataCount(), 12u);
     Nested out = decodeNested(sink.tokens(), 3);
     ASSERT_EQ(out.children().size(), 1u);
@@ -307,7 +307,7 @@ TEST(BufferizeStreamify, AffineReadOverGrid)
     aff.outShape = {2, 2};
     auto& sf = g.add<StreamifyOp>("sf", buf.out(), ref.out(), 0, aff);
     auto& sink = g.add<SinkOp>("sink", sf.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 3);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{1, 3, 2, 4}));
 }

@@ -53,7 +53,7 @@ TEST(Partition, RoutesRowChunksBySelector)
     auto& part = g.add<PartitionOp>("part", in.out(), sel, 1, 2);
     auto& s0 = g.add<SinkOp>("s0", part.out(0), true);
     auto& s1 = g.add<SinkOp>("s1", part.out(1), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(test::leavesOf(decodeNested(s0.tokens(), 2)),
               (std::vector<float>{1, 3}));
     EXPECT_EQ(test::leavesOf(decodeNested(s1.tokens(), 2)),
@@ -72,7 +72,7 @@ TEST(Partition, EmptyPartitionGetsBareDone)
     g.add<SinkOp>("s0", part.out(0), true);
     auto& s1 = g.add<SinkOp>("s1", part.out(1), true);
     auto& s2 = g.add<SinkOp>("s2", part.out(2), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(tokensToString(s1.tokens()), "D");
     EXPECT_EQ(tokensToString(s2.tokens()), "D");
 }
@@ -88,7 +88,7 @@ TEST(Partition, MultiHotBroadcastsChunk)
     auto& part = g.add<PartitionOp>("part", in.out(), sel, 1, 2);
     auto& s0 = g.add<SinkOp>("s0", part.out(0), true);
     auto& s1 = g.add<SinkOp>("s1", part.out(1), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(test::leavesOf(decodeNested(s0.tokens(), 2)),
               (std::vector<float>{1}));
     EXPECT_EQ(test::leavesOf(decodeNested(s1.tokens(), 2)),
@@ -113,7 +113,7 @@ TEST(PartitionReassemble, RoundTripIdentity)
         std::vector<StreamPort>{part.out(0), part.out(1), part.out(2)},
         selB, 1);
     auto& sink = g.add<SinkOp>("sink", re.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 3);
     EXPECT_EQ(test::leavesOf(out), (std::vector<float>{1, 2, 3, 4, 5}));
     ASSERT_EQ(out.children().size(), 5u);
@@ -138,7 +138,7 @@ TEST(Reassemble, Figure4Semantics)
     auto& re = g.add<ReassembleOp>(
         "re", std::vector<StreamPort>{in0, in1, in2}, sel, 1);
     auto& sink = g.add<SinkOp>("sink", re.out(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(sink.tokens(), 3);
     ASSERT_EQ(out.children().size(), 2u);
     // First selector group has chunks from 0 and 1; chunks never
@@ -165,7 +165,7 @@ TEST(EagerMerge, MergesAllChunksAndReportsOrigins)
         "em", std::vector<StreamPort>{in0, in1}, 1);
     auto& dsink = g.add<SinkOp>("d", em.out(), true);
     auto& ssink = g.add<SinkOp>("s", em.selOut(), true);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(dsink.tokens(), 2);
     ASSERT_EQ(out.children().size(), 3u);
     // Selector stream has one origin per chunk; replaying it against the
@@ -195,7 +195,7 @@ TEST(EagerMerge, Rank0MergesScalars)
         "em", std::vector<StreamPort>{a.out(), b.out()}, 0);
     auto& dsink = g.add<SinkOp>("d", em.out(), true);
     auto& ssink = g.add<SinkOp>("s", em.selOut(), true);
-    g.run();
+    (void)g.run();
     EXPECT_EQ(dsink.dataCount(), 3u);
     EXPECT_EQ(ssink.dataCount(), 3u);
 }
@@ -218,7 +218,7 @@ TEST(EagerMerge, PrefersEarlierArrival)
         "em", std::vector<StreamPort>{slow.out(), fast.out()}, 1);
     auto& dsink = g.add<SinkOp>("d", em.out(), true);
     g.add<SinkOp>("s", em.selOut(), false);
-    g.run();
+    (void)g.run();
     Nested out = decodeNested(dsink.tokens(), 2);
     ASSERT_EQ(out.children().size(), 2u);
     EXPECT_FLOAT_EQ(test::leavesOf(out.children()[0])[0], 1.0f);
@@ -238,7 +238,7 @@ TEST(Dispatcher, RoundRobinThenCompletionDriven)
                                  DataType::selector(2));
     auto& disp = g.add<DispatcherOp>("disp", csrc.out(), 2, 5);
     auto& sink = g.add<SinkOp>("sink", disp.out(), true);
-    g.run();
+    (void)g.run();
     ASSERT_EQ(sink.dataCount(), 5u);
     std::vector<uint32_t> order;
     for (const auto& t : sink.tokens())

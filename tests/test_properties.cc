@@ -144,7 +144,7 @@ TEST_P(ShapeInference, PipelineShapesMatchObservedStreams)
         }
     }
     auto& sink = g.add<SinkOp>("sink", cur, true);
-    g.run();
+    (void)g.run();
     checkShapeAgainstStream(cur.shape, sink.tokens());
 }
 
@@ -192,7 +192,7 @@ TEST_P(RoutingConservation, PartitionReassembleIsIdentity)
         outs.push_back(part.out(i));
     auto& re = g.add<ReassembleOp>("r", outs, sb.out(), 1);
     auto& sink = g.add<SinkOp>("sink", re.out(), true);
-    g.run();
+    (void)g.run();
 
     Nested out = decodeNested(sink.tokens(), 3);
     std::vector<float> got = leavesOf(out);
@@ -228,7 +228,7 @@ TEST_P(RoutingConservation, EagerMergePreservesChunkMultiset)
     auto& em = g.add<EagerMergeOp>("em", ins, 1);
     auto& dsink = g.add<SinkOp>("d", em.out(), true);
     auto& ssink = g.add<SinkOp>("s", em.selOut(), true);
-    g.run();
+    (void)g.run();
     auto vals = leavesOf(decodeNested(dsink.tokens(), 2));
     std::multiset<float> got(vals.begin(), vals.end());
     EXPECT_EQ(got, expect);
