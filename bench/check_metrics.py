@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Validate a streaming-metrics artifact produced by the obs layer.
+
+Usage:
+    check_metrics.py METRICS.json [WINDOWS.jsonl] [--expect-samples]
+
+--expect-samples makes an artifact with zero recorded samples a
+failure: use it on metered runs, so a silently detached registry (the
+engine ran but nothing sampled) cannot pass.
+
+Checks, in order:
+  1. the file parses as JSON with schema_version 2, kind
+     "step-metrics", a positive window_cycles, a non-empty "replicas"
+     array (indices 0..N-1 in order), and a "merged" section;
+  2. every instrument's run-level aggregates are internally
+     consistent: min <= max, count*min <= sum <= count*max, and for
+     histograms the bucket counts sum to the instrument count, bucket
+     lower bounds are strictly increasing, and p50 <= p95 <= p99 all
+     lie inside [min, max];
+  3. instrument names and kinds agree across replicas and the merge
+     (same registration order everywhere — the positionless-merge
+     contract);
+  4. the merged section IS the replica-index-order fold: per
+     instrument, merged count and sum equal the sums over replicas,
+     merged min/max equal the extrema over replicas with samples.
+
+If a WINDOWS.jsonl is given, each line must parse as JSON naming a
+known (replica, instrument) pair — replica -1 is the merge — with
+windows strictly increasing per pair, start == window * window_cycles,
+a positive count (empty windows are never emitted), window min/max
+inside the run-level [min, max], and per pair the window counts and
+sums adding up to the run-level instrument count and sum.
+
+Exit status 0 on success, 1 on any violation (with a message naming
+the first offending instrument or row).
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_instrument(where, inst):
+    name = inst.get("name")
+    if not name:
+        fail(f"{where}: instrument without a name")
+    kind = inst.get("type")
+    if kind not in ("histogram", "series"):
+        fail(f"{where}/{name}: unknown type {kind!r}")
+    count = inst.get("count", -1)
+    if count < 0:
+        fail(f"{where}/{name}: negative count")
+    if count == 0:
+        return
+    lo, hi, total = inst.get("min"), inst.get("max"), inst.get("sum")
+    if lo is None or hi is None or total is None:
+        fail(f"{where}/{name}: non-empty instrument missing min/max/sum")
+    if lo > hi:
+        fail(f"{where}/{name}: min {lo} > max {hi}")
+    if not (count * lo <= total <= count * hi):
+        fail(f"{where}/{name}: sum {total} outside [{count * lo}, "
+             f"{count * hi}]")
+    if kind != "histogram":
+        return
+    buckets = inst.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        fail(f"{where}/{name}: histogram without buckets")
+    if sum(c for _, c in buckets) != count:
+        fail(f"{where}/{name}: bucket counts do not sum to {count}")
+    lowers = [b for b, _ in buckets]
+    if lowers != sorted(set(lowers)):
+        fail(f"{where}/{name}: bucket lower bounds not strictly "
+             "increasing")
+    p50, p95, p99 = inst.get("p50"), inst.get("p95"), inst.get("p99")
+    if not (lo <= p50 <= p95 <= p99 <= hi):
+        fail(f"{where}/{name}: percentiles p50={p50} p95={p95} p99={p99} "
+             f"not ordered inside [{lo}, {hi}]")
+
+
+def check_metrics(path, expect_samples):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+    if doc.get("schema_version") != 2:
+        fail(f"{path}: schema_version != 2")
+    if doc.get("kind") != "step-metrics":
+        fail(f"{path}: kind != step-metrics")
+    window = doc.get("window_cycles", 0)
+    if not isinstance(window, int) or window <= 0:
+        fail(f"{path}: window_cycles must be a positive integer")
+    replicas = doc.get("replicas")
+    if not isinstance(replicas, list) or not replicas:
+        fail(f"{path}: empty or missing replicas array")
+    merged = doc.get("merged")
+    if not isinstance(merged, dict):
+        fail(f"{path}: missing merged section")
+
+    signature = None  # [(name, type)] — identical everywhere
+    for i, rep in enumerate(replicas):
+        if rep.get("replica") != i:
+            fail(f"{path}: replicas[{i}] carries index "
+                 f"{rep.get('replica')}")
+        insts = rep.get("instruments", [])
+        sig = [(x.get("name"), x.get("type")) for x in insts]
+        if signature is None:
+            signature = sig
+        elif sig != signature:
+            fail(f"{path}: replica {i} instrument signature differs "
+                 "from replica 0")
+        for inst in insts:
+            check_instrument(f"replica {i}", inst)
+
+    minsts = merged.get("instruments", [])
+    if [(x.get("name"), x.get("type")) for x in minsts] != signature:
+        fail(f"{path}: merged instrument signature differs from "
+             "replicas")
+    for inst in minsts:
+        check_instrument("merged", inst)
+
+    # The merge must BE the fold over replicas, not an approximation.
+    total_samples = 0
+    for k, minst in enumerate(minsts):
+        parts = [rep["instruments"][k] for rep in replicas]
+        live = [p for p in parts if p.get("count", 0) > 0]
+        count = sum(p.get("count", 0) for p in parts)
+        total_samples += count
+        if minst.get("count", -1) != count:
+            fail(f"merged/{minst.get('name')}: count "
+                 f"{minst.get('count')} != replica sum {count}")
+        if count == 0:
+            continue
+        if minst.get("sum") != sum(p["sum"] for p in live):
+            fail(f"merged/{minst.get('name')}: sum is not the replica "
+                 "sum")
+        if minst.get("min") != min(p["min"] for p in live):
+            fail(f"merged/{minst.get('name')}: min is not the replica "
+                 "min")
+        if minst.get("max") != max(p["max"] for p in live):
+            fail(f"merged/{minst.get('name')}: max is not the replica "
+                 "max")
+
+    if expect_samples and total_samples == 0:
+        fail(f"{path}: --expect-samples but no instrument recorded "
+             "anything")
+
+    totals = {}
+    for rep in replicas + [dict(replica=-1, **merged)]:
+        rid = rep.get("replica", -1)
+        for inst in rep.get("instruments", []):
+            totals[(rid, inst["name"])] = inst
+    return window, totals
+
+
+def check_windows(path, window_cycles, totals):
+    per_pair = defaultdict(lambda: dict(count=0, sum=0, last=-1))
+    try:
+        with open(path) as f:
+            lines = f.readlines()
+    except OSError as e:
+        fail(f"{path}: not readable: {e}")
+    for ln, line in enumerate(lines, 1):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{ln}: not JSON: {e}")
+        key = (row.get("replica"), row.get("instrument"))
+        if key not in totals:
+            fail(f"{path}:{ln}: unknown (replica, instrument) {key}")
+        w = row.get("window", -1)
+        st = per_pair[key]
+        if w <= st["last"]:
+            fail(f"{path}:{ln}: windows not strictly increasing for "
+                 f"{key}")
+        st["last"] = w
+        if row.get("start") != w * window_cycles:
+            fail(f"{path}:{ln}: start != window * window_cycles")
+        if row.get("count", 0) <= 0:
+            fail(f"{path}:{ln}: empty windows must not be emitted")
+        tot = totals[key]
+        if not (tot["min"] <= row.get("min") <= row.get("max")
+                <= tot["max"]):
+            fail(f"{path}:{ln}: window min/max outside the run-level "
+                 "range")
+        st["count"] += row["count"]
+        st["sum"] += row["sum"]
+    for key, tot in totals.items():
+        st = per_pair[key]
+        if st["count"] != tot.get("count", 0):
+            fail(f"{path}: window counts for {key} sum to "
+                 f"{st['count']}, run-level says {tot.get('count')}")
+        if tot.get("count", 0) > 0 and st["sum"] != tot.get("sum"):
+            fail(f"{path}: window sums for {key} do not add up to the "
+                 "run-level sum")
+    return len(lines)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    expect_samples = "--expect-samples" in argv[1:]
+    if not args or len(args) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    window, totals = check_metrics(args[0], expect_samples)
+    msg = f"check_metrics: OK: {args[0]} ({len(totals)} instrument rows"
+    if len(args) == 2:
+        rows = check_windows(args[1], window, totals)
+        msg += f", {rows} window rows"
+    print(msg + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

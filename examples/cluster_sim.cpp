@@ -9,8 +9,11 @@
  *
  *   ./cluster_sim [--seed N] [--threads N] [--verify]
  *                 [--trace out.json] [--trace-level off|request|op|full]
+ *                 [--metrics out.json] [--metrics-window N]
  *                 [--mtbf N | --fault-plan SPEC] [--slowdown-mtbf N]
  *                 [--deadline N] [--resilience]
+ *                 [--breaker-source plan|telemetry]
+ *                 [--bw-scales S0,S1,...]
  *
  * --verify statically checks every freshly built iteration graph on
  * every replica (src/verify) before running it; read-only, so output
@@ -19,6 +22,22 @@
  * Tracing covers the least-queued-routing run: one sink per replica,
  * merged in replica order, so the output bytes do not depend on
  * --threads — the property CI pins with a byte comparison.
+ *
+ * --metrics exports the streaming-metrics artifact of the same
+ * least-queued run (schema v2: per-replica windowed histograms and
+ * time-series plus the replica-index-order merge) and the per-window
+ * JSONL next to it; --metrics-window overrides the aggregation window
+ * width in cycles. Like traces, metrics bytes are --threads-invariant.
+ *
+ * --bw-scales runs a heterogeneous fleet: comma-separated per-replica
+ * compute-capacity factors (one per replica), honored by the replica
+ * engines, the least-queued router's service model, and the resilience
+ * tier's placement scoring.
+ *
+ * --breaker-source telemetry makes the resilience tier infer each
+ * replica's circuit-breaker timeline from an observation pass's
+ * windowed metrics (failure counts + TTFT p95) instead of reading the
+ * fault plan; see runtime/resilience.hh. Requires --resilience.
  *
  * Fault tier (off by default; without these flags the output is
  * bit-identical to the fault-less build): --mtbf N draws a seeded
@@ -61,12 +80,19 @@ main(int argc, char** argv)
         std::cerr << "cluster_sim: " << trace_cli.errorMsg << "\n";
         return 2;
     }
+    obs::MetricsCli metrics_cli = obs::parseMetricsCli(argc, argv);
+    if (metrics_cli.error) {
+        std::cerr << "cluster_sim: " << metrics_cli.errorMsg << "\n";
+        return 2;
+    }
     int64_t threads = 0;
     int64_t mtbf = 0;
     int64_t slowdown_mtbf = 0;
     int64_t deadline = 0;
     bool resilience = false;
     std::string plan_spec;
+    std::string scales_spec;
+    std::string breaker_source_spec;
     bool verify_graphs = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -86,6 +112,10 @@ main(int argc, char** argv)
             plan_spec = argv[i + 1];
         else if (a == "--deadline")
             deadline = std::atoll(argv[i + 1]);
+        else if (a == "--bw-scales")
+            scales_spec = argv[i + 1];
+        else if (a == "--breaker-source")
+            breaker_source_spec = argv[i + 1];
     }
     if (threads < 0) {
         std::cerr << "cluster_sim: --threads must be >= 0\n";
@@ -100,6 +130,40 @@ main(int argc, char** argv)
         std::cerr << "cluster_sim: --mtbf/--slowdown-mtbf and "
                      "--fault-plan are mutually exclusive\n";
         return 2;
+    }
+    BreakerSource breaker_source = BreakerSource::Plan;
+    if (!breaker_source_spec.empty()) {
+        if (!parseBreakerSource(breaker_source_spec, &breaker_source)) {
+            std::cerr << "cluster_sim: --breaker-source must be 'plan' "
+                         "or 'telemetry', got '"
+                      << breaker_source_spec << "'\n";
+            return 2;
+        }
+        if (!resilience) {
+            std::cerr << "cluster_sim: --breaker-source requires "
+                         "--resilience\n";
+            return 2;
+        }
+    }
+    std::vector<double> bw_scales;
+    if (!scales_spec.empty()) {
+        std::string rest = scales_spec;
+        while (!rest.empty()) {
+            const size_t comma = rest.find(',');
+            const std::string tok = rest.substr(0, comma);
+            char* end = nullptr;
+            const double v = std::strtod(tok.c_str(), &end);
+            if (tok.empty() || end == nullptr || *end != '\0' ||
+                v <= 0.0) {
+                std::cerr << "cluster_sim: --bw-scales wants positive "
+                             "comma-separated factors, got '"
+                          << scales_spec << "'\n";
+                return 2;
+            }
+            bw_scales.push_back(v);
+            rest = comma == std::string::npos ? std::string{}
+                                              : rest.substr(comma + 1);
+        }
     }
 
     TraceConfig tc;
@@ -120,6 +184,15 @@ main(int argc, char** argv)
     ClusterConfig cc;
     cc.replicas = 4;
     cc.threads = threads;
+    if (!bw_scales.empty()) {
+        if (bw_scales.size() != static_cast<size_t>(cc.replicas)) {
+            std::cerr << "cluster_sim: --bw-scales wants "
+                      << cc.replicas << " factors, got "
+                      << bw_scales.size() << "\n";
+            return 2;
+        }
+        cc.bwScales = bw_scales;
+    }
     // Static graph verification on every replica engine (read-only;
     // output bytes are identical with and without the flag).
     if (verify_graphs)
@@ -157,6 +230,7 @@ main(int argc, char** argv)
     BrownoutPolicy brownout;
     if (resilience) {
         cc.resilience.enabled = true;
+        cc.resilience.breakerSource = breaker_source;
         cc.resilience.remotePrefix.enabled = true;
         cc.resilience.autoscale.enabled = true;
         tc.lowPriorityFrac = 0.2;
@@ -199,6 +273,15 @@ main(int argc, char** argv)
     if (resilience)
         std::cout << "resilience: migration + breakers + remote prefix "
                      "+ autoscale + brown-out admission\n";
+    if (resilience && breaker_source == BreakerSource::Telemetry)
+        std::cout << "breaker source: telemetry (health monitor over an "
+                     "observation pass's windowed metrics)\n";
+    if (!bw_scales.empty()) {
+        std::cout << "heterogeneous fleet: bw scales";
+        for (double s : bw_scales)
+            std::cout << " " << s;
+        std::cout << "\n";
+    }
     std::cout << "\n";
 
     QueueDepthPolicy policy;
@@ -219,10 +302,15 @@ main(int argc, char** argv)
          {RouteKind::RoundRobin, RouteKind::LeastQueued,
           RouteKind::HashAffinity}) {
         cc.routing = routing;
-        // Trace the least-queued run, one sink per replica.
+        // Trace and meter the least-queued run, one sink/registry per
+        // replica.
         cc.trace = routing == RouteKind::LeastQueued && trace_cli.enabled()
                        ? trace_cli.options()
                        : obs::TraceOptions{};
+        cc.metrics =
+            routing == RouteKind::LeastQueued && metrics_cli.enabled()
+                ? metrics_cli.config()
+                : obs::MetricsConfig{};
         auto reqs = generateTrace(tc, deriveSeed(2));
         ServingCluster cluster(cc, policy);
         ClusterResult r = cluster.run(reqs);
@@ -307,6 +395,30 @@ main(int argc, char** argv)
                   << " replica tracks, least-queued run) -> "
                   << trace_cli.path << "\nrequest lifecycle -> " << jsonl
                   << "\n";
+    }
+
+    if (!least_queued.metrics.empty()) {
+        const auto views = least_queued.metricsViews();
+        const obs::MetricsRegistry* merged =
+            least_queued.mergedMetrics.get();
+        if (!obs::writeMetricsJsonFile(metrics_cli.path, views,
+                                       merged)) {
+            std::cerr << "cluster_sim: cannot write metrics to "
+                      << metrics_cli.path << "\n";
+            return 1;
+        }
+        const std::string mw = obs::metricsJsonlPath(metrics_cli.path);
+        if (!obs::writeMetricsWindowsJsonlFile(mw, views, merged)) {
+            std::cerr << "cluster_sim: cannot write " << mw << "\n";
+            return 1;
+        }
+        const ServingSummary& ls = least_queued.aggregate;
+        std::cout << "\nmetrics (" << views.size()
+                  << " replica registries + merge, least-queued run) -> "
+                  << metrics_cli.path << "\nper-window series -> " << mw
+                  << "\nslo windows (least-queued): "
+                  << ls.sloWindowsAttained << "/" << ls.sloWindows
+                  << " attained\n";
     }
     return 0;
 }

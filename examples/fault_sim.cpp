@@ -16,14 +16,22 @@
  * comparison of two runs.
  *
  *   ./fault_sim [--seed N] [--threads N] [--verify]
+ *               [--metrics out.json] [--metrics-window N]
  *
  * --verify statically checks every freshly built iteration graph
  * (src/verify) before running it; read-only, so output bytes are
  * identical with and without the flag.
+ *
+ * --metrics exports the kill+recovery scenario's streaming-metrics
+ * artifact (per-replica windowed histograms and series plus the
+ * replica-index-order merge; see obs/metrics.hh) and its per-window
+ * JSONL — the crash, the failover burst, and the recovery are all
+ * visible as windowed failure counts and TTFT spikes.
  */
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "runtime/cluster.hh"
 #include "support/rng.hh"
@@ -38,6 +46,10 @@ struct RunOutcome
 {
     ServingSummary summary;
     int64_t retries = 0;
+    /** Per-replica registries + merge, non-empty only for the one
+     *  scenario the CLI meters. */
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> metrics;
+    std::unique_ptr<obs::MetricsRegistry> mergedMetrics;
 };
 
 RunOutcome
@@ -46,7 +58,8 @@ runOnce(const ClusterConfig& cc, const TraceConfig& tc, const Policy& pol)
     auto reqs = generateTrace(tc, deriveSeed(2));
     ServingCluster cluster(cc, pol);
     ClusterResult r = cluster.run(reqs);
-    return {r.aggregate, r.retriesIssued};
+    return {r.aggregate, r.retriesIssued, std::move(r.metrics),
+            std::move(r.mergedMetrics)};
 }
 
 } // namespace
@@ -55,6 +68,11 @@ int
 main(int argc, char** argv)
 {
     const uint64_t seed = seedFromArgsOrEnv(argc, argv);
+    obs::MetricsCli metrics_cli = obs::parseMetricsCli(argc, argv);
+    if (metrics_cli.error) {
+        std::cerr << "fault_sim: " << metrics_cli.errorMsg << "\n";
+        return 2;
+    }
     int64_t threads = 0;
     bool verify_graphs = false;
     for (int i = 1; i < argc; ++i) {
@@ -130,10 +148,15 @@ main(int argc, char** argv)
     // Scenario 3: same crash, default exponential-backoff failover.
     report("kill, no recovery", runOnce(cc, tc, policy));
 
-    // Scenario 4: same crash, repair brings it back.
+    // Scenario 4: same crash, repair brings it back. This is the run
+    // the --metrics artifact describes (crash, failover, recovery all
+    // leave windowed signatures).
     cc.faults = FaultPlan{};
     cc.faults.crashes.push_back({1, crash_at, recover_at});
-    report("kill + recovery", runOnce(cc, tc, policy));
+    cc.metrics = metrics_cli.config();
+    const RunOutcome recovery = runOnce(cc, tc, policy);
+    report("kill + recovery", recovery);
+    cc.metrics = obs::MetricsConfig{};
 
     // Scenario 5: permanent crash under deadlines — requests the
     // surviving replicas cannot finish in time are shed up front
@@ -157,5 +180,29 @@ main(int argc, char** argv)
            "failure whose retry\nsucceeded elsewhere counts as retried, "
            "not failed, so transparent failover keeps\navailability at "
            "100 %.\n";
+
+    if (!recovery.metrics.empty()) {
+        std::vector<const obs::MetricsRegistry*> views;
+        views.reserve(recovery.metrics.size());
+        for (const auto& m : recovery.metrics)
+            views.push_back(m.get());
+        const obs::MetricsRegistry* merged =
+            recovery.mergedMetrics.get();
+        if (!obs::writeMetricsJsonFile(metrics_cli.path, views,
+                                       merged)) {
+            std::cerr << "fault_sim: cannot write metrics to "
+                      << metrics_cli.path << "\n";
+            return 1;
+        }
+        const std::string mw = obs::metricsJsonlPath(metrics_cli.path);
+        if (!obs::writeMetricsWindowsJsonlFile(mw, views, merged)) {
+            std::cerr << "fault_sim: cannot write " << mw << "\n";
+            return 1;
+        }
+        std::cout << "\nmetrics (kill + recovery scenario, "
+                  << views.size() << " replica registries + merge) -> "
+                  << metrics_cli.path << "\nper-window series -> " << mw
+                  << "\n";
+    }
     return 0;
 }

@@ -215,10 +215,11 @@ TraceSink::reqArrived(int64_t id, int64_t session, int64_t turn,
     rec.outputLen = output_len;
     rec.attempt = attempt;
     rec.arrival = at;
-    // Overwrite, not emplace: a retry incarnation of the same id takes
-    // over the id's slot so later hooks land on the live incarnation;
-    // the superseded record stays in requests_ for the JSONL.
-    reqIndex_[id] = requests_.size();
+    // Keyed by (id, attempt): a superseded incarnation and its retry
+    // can be concurrently simulated on one replica, and each hook must
+    // land on its own record. Every record stays in requests_ for the
+    // JSONL.
+    reqIndex_[lifeKey(id, attempt)] = requests_.size();
     requests_.push_back(rec);
 
     TraceEvent e;
@@ -242,12 +243,12 @@ TraceSink::reqArrived(int64_t id, int64_t session, int64_t turn,
 }
 
 void
-TraceSink::reqAdmitted(int64_t id, int64_t cached_prefix_tokens,
-                       dam::Cycle at)
+TraceSink::reqAdmitted(int64_t id, int64_t attempt,
+                       int64_t cached_prefix_tokens, dam::Cycle at)
 {
     if (opts_.level < TraceLevel::Request)
         return;
-    auto it = reqIndex_.find(id);
+    auto it = reqIndex_.find(lifeKey(id, attempt));
     if (it != reqIndex_.end()) {
         RequestLifecycle& rec = requests_[it->second];
         rec.admitted = true;
@@ -265,11 +266,11 @@ TraceSink::reqAdmitted(int64_t id, int64_t cached_prefix_tokens,
 }
 
 void
-TraceSink::reqFirstToken(int64_t id, dam::Cycle at)
+TraceSink::reqFirstToken(int64_t id, int64_t attempt, dam::Cycle at)
 {
     if (opts_.level < TraceLevel::Request)
         return;
-    auto it = reqIndex_.find(id);
+    auto it = reqIndex_.find(lifeKey(id, attempt));
     if (it != reqIndex_.end()) {
         RequestLifecycle& rec = requests_[it->second];
         rec.sawFirstToken = true;
@@ -285,11 +286,11 @@ TraceSink::reqFirstToken(int64_t id, dam::Cycle at)
 }
 
 void
-TraceSink::reqFinished(int64_t id, dam::Cycle at)
+TraceSink::reqFinished(int64_t id, int64_t attempt, dam::Cycle at)
 {
     if (opts_.level < TraceLevel::Request)
         return;
-    auto it = reqIndex_.find(id);
+    auto it = reqIndex_.find(lifeKey(id, attempt));
     if (it != reqIndex_.end()) {
         RequestLifecycle& rec = requests_[it->second];
         rec.finished = true;
@@ -305,11 +306,11 @@ TraceSink::reqFinished(int64_t id, dam::Cycle at)
 }
 
 void
-TraceSink::reqFailed(int64_t id, dam::Cycle at)
+TraceSink::reqFailed(int64_t id, int64_t attempt, dam::Cycle at)
 {
     if (opts_.level < TraceLevel::Request)
         return;
-    auto it = reqIndex_.find(id);
+    auto it = reqIndex_.find(lifeKey(id, attempt));
     if (it != reqIndex_.end()) {
         RequestLifecycle& rec = requests_[it->second];
         rec.failed = true;
@@ -325,11 +326,11 @@ TraceSink::reqFailed(int64_t id, dam::Cycle at)
 }
 
 void
-TraceSink::reqShed(int64_t id, dam::Cycle at)
+TraceSink::reqShed(int64_t id, int64_t attempt, dam::Cycle at)
 {
     if (opts_.level < TraceLevel::Request)
         return;
-    auto it = reqIndex_.find(id);
+    auto it = reqIndex_.find(lifeKey(id, attempt));
     if (it != reqIndex_.end()) {
         RequestLifecycle& rec = requests_[it->second];
         rec.shed = true;
@@ -345,11 +346,12 @@ TraceSink::reqShed(int64_t id, dam::Cycle at)
 }
 
 void
-TraceSink::reqMigrated(int64_t id, dam::Cycle at, int64_t kv_tokens)
+TraceSink::reqMigrated(int64_t id, int64_t attempt, dam::Cycle at,
+                       int64_t kv_tokens)
 {
     if (opts_.level < TraceLevel::Request)
         return;
-    auto it = reqIndex_.find(id);
+    auto it = reqIndex_.find(lifeKey(id, attempt));
     if (it != reqIndex_.end()) {
         RequestLifecycle& rec = requests_[it->second];
         rec.migrated = true;

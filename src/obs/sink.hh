@@ -106,25 +106,29 @@ class TraceSink
     // ---- request lifecycle hooks (engine-global cycles) --------------
     /**
      * @p attempt > 0 marks a cluster retry incarnation: a "req.retry"
-     * instant is emitted alongside the arrival, and the incarnation
-     * *replaces* the id's lifecycle record — later hooks for the id
-     * update the latest incarnation, and the JSONL reports one line per
-     * incarnation, so a failed first attempt stays visible.
+     * instant is emitted alongside the arrival. Lifecycle records are
+     * keyed by (id, attempt) — the fault tier's failover waves can
+     * leave a superseded incarnation and its successor concurrently
+     * simulated on one replica, and each hooks into its own record —
+     * so every later hook passes the incarnation's attempt too. The
+     * JSONL reports one line per incarnation, so a failed first
+     * attempt stays visible.
      */
     void reqArrived(int64_t id, int64_t session, int64_t turn,
                     int64_t prompt_len, int64_t output_len, dam::Cycle at,
                     int64_t attempt = 0);
-    void reqAdmitted(int64_t id, int64_t cached_prefix_tokens,
-                     dam::Cycle at);
-    void reqFirstToken(int64_t id, dam::Cycle at);
-    void reqFinished(int64_t id, dam::Cycle at);
+    void reqAdmitted(int64_t id, int64_t attempt,
+                     int64_t cached_prefix_tokens, dam::Cycle at);
+    void reqFirstToken(int64_t id, int64_t attempt, dam::Cycle at);
+    void reqFinished(int64_t id, int64_t attempt, dam::Cycle at);
     /** The request's replica crashed under it at @p at. */
-    void reqFailed(int64_t id, dam::Cycle at);
+    void reqFailed(int64_t id, int64_t attempt, dam::Cycle at);
     /** The admission policy dropped the request at @p at. */
-    void reqShed(int64_t id, dam::Cycle at);
+    void reqShed(int64_t id, int64_t attempt, dam::Cycle at);
     /** The resilience tier drained the request off this replica at
      *  @p at, handing off @p kv_tokens of computed KV. */
-    void reqMigrated(int64_t id, dam::Cycle at, int64_t kv_tokens);
+    void reqMigrated(int64_t id, int64_t attempt, dam::Cycle at,
+                     int64_t kv_tokens);
     /** Admission capped the request's output budget to @p cap tokens
      *  (brown-out middle rung). */
     void reqCapped(int64_t id, dam::Cycle at, int64_t cap);
@@ -213,7 +217,16 @@ class TraceSink
     dam::Cycle lastTs_[3] = {0, 0, 0};
 
     std::vector<RequestLifecycle> requests_;
-    std::unordered_map<int64_t, size_t> reqIndex_;
+    /** (id, attempt) -> requests_ slot. Ids are dense trace indices
+     *  and attempts are bounded by the retry/migration caps, so a
+     *  shifted pack cannot collide. */
+    static uint64_t
+    lifeKey(int64_t id, int64_t attempt)
+    {
+        return (static_cast<uint64_t>(id) << 20) ^
+               static_cast<uint64_t>(attempt);
+    }
+    std::unordered_map<uint64_t, size_t> reqIndex_;
 
     CounterRegistry counters_;
     std::vector<uint32_t> counterNameIds_; ///< lazily interned

@@ -1,0 +1,99 @@
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace step::obs {
+
+TimeSeries::TimeSeries(dam::Cycle window_cycles, bool with_histograms)
+    : window_(window_cycles), withHists_(with_histograms)
+{
+    if (window_ == 0)
+        throw step::FatalError("TimeSeries window width must be non-zero");
+}
+
+void
+TimeSeries::record(dam::Cycle at, uint64_t value)
+{
+    const size_t w = size_t(at / window_);
+    if (w >= windows_.size()) {
+        windows_.resize(w + 1);
+        if (withHists_)
+            hists_.resize(w + 1);
+    }
+    WindowAgg& agg = windows_[w];
+    agg.min = agg.count == 0 ? value : std::min(agg.min, value);
+    agg.max = agg.count == 0 ? value : std::max(agg.max, value);
+    agg.count += 1;
+    agg.sum += value;
+    total_.min = total_.count == 0 ? value : std::min(total_.min, value);
+    total_.max = total_.count == 0 ? value : std::max(total_.max, value);
+    total_.count += 1;
+    total_.sum += value;
+    if (withHists_) {
+        if (!hists_[w])
+            hists_[w] = std::make_unique<LogHistogram>();
+        hists_[w]->record(value);
+    }
+}
+
+void
+TimeSeries::merge(const TimeSeries& o)
+{
+    if (o.window_ != window_)
+        throw step::FatalError("TimeSeries merge: window width mismatch");
+    if (o.windows_.size() > windows_.size()) {
+        windows_.resize(o.windows_.size());
+        if (withHists_)
+            hists_.resize(o.windows_.size());
+    }
+    for (size_t w = 0; w < o.windows_.size(); ++w) {
+        const WindowAgg& src = o.windows_[w];
+        if (src.count == 0)
+            continue;
+        WindowAgg& dst = windows_[w];
+        dst.min = dst.count == 0 ? src.min : std::min(dst.min, src.min);
+        dst.max = dst.count == 0 ? src.max : std::max(dst.max, src.max);
+        dst.count += src.count;
+        dst.sum += src.sum;
+        if (withHists_ && o.withHists_ && o.hists_[w]) {
+            if (!hists_[w])
+                hists_[w] = std::make_unique<LogHistogram>();
+            hists_[w]->merge(*o.hists_[w]);
+        }
+    }
+    const WindowAgg& src = o.total_;
+    if (src.count != 0) {
+        total_.min = total_.count == 0 ? src.min : std::min(total_.min, src.min);
+        total_.max = total_.count == 0 ? src.max : std::max(total_.max, src.max);
+        total_.count += src.count;
+        total_.sum += src.sum;
+    }
+}
+
+const WindowAgg&
+TimeSeries::window(size_t w) const
+{
+    static const WindowAgg kEmpty{};
+    return w < windows_.size() ? windows_[w] : kEmpty;
+}
+
+const LogHistogram*
+TimeSeries::windowHistogram(size_t w) const
+{
+    if (!withHists_ || w >= hists_.size())
+        return nullptr;
+    return hists_[w].get();
+}
+
+void
+TimeSeries::forEachWindow(
+    const std::function<void(size_t, const WindowAgg&)>& fn) const
+{
+    for (size_t w = 0; w < windows_.size(); ++w)
+        if (windows_[w].count != 0)
+            fn(w, windows_[w]);
+}
+
+} // namespace step::obs

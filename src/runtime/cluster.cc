@@ -100,10 +100,63 @@ ServingCluster::ServingCluster(ClusterConfig cfg, const Policy& policy)
 {
     STEP_ASSERT(cfg_.replicas >= 1, "cluster needs at least one replica");
     STEP_ASSERT(cfg_.threads >= 0, "negative worker-thread count");
+    STEP_ASSERT(cfg_.bwScales.empty() ||
+                    cfg_.bwScales.size() ==
+                        static_cast<size_t>(cfg_.replicas),
+                "bwScales must be empty or one entry per replica");
+    for (double s : cfg_.bwScales)
+        STEP_ASSERT(s > 0.0, "bwScales entries must be positive");
+}
+
+double
+ServingCluster::bwScaleAt(size_t r) const
+{
+    return cfg_.bwScales.empty() ? 1.0 : cfg_.bwScales[r];
+}
+
+std::vector<BreakerTimeline>
+ServingCluster::resilientBreakers(const std::vector<Request>& reqs) const
+{
+    const auto R = static_cast<size_t>(cfg_.replicas);
+    std::vector<BreakerTimeline> out(R);
+    if (cfg_.resilience.breakerSource == BreakerSource::Plan) {
+        for (size_t r = 0; r < R; ++r)
+            out[r] = computeBreakerTimeline(
+                cfg_.faults.forReplica(static_cast<int64_t>(r)),
+                cfg_.resilience.breaker);
+        return out;
+    }
+    // Telemetry source: observation pass. Run the *plain fault tier* on
+    // a copy of the trace — resilience machinery off (so the pass
+    // cannot recurse), tracing off, metrics forced on at the health
+    // monitor's window width — and infer each replica's timeline from
+    // its windowed failure counts and TTFT p95. The pass is itself a
+    // deterministic cluster run, so the inferred timelines are pure
+    // reproducible data, exactly like the plan-derived ones.
+    ClusterConfig oc = cfg_;
+    oc.resilience.enabled = false;
+    oc.trace = obs::TraceOptions{};
+    oc.metrics.enabled = true;
+    oc.metrics.windowCycles = cfg_.resilience.health.windowCycles;
+    std::vector<Request> copy(reqs);
+    ServingCluster observer(std::move(oc), policy_);
+    const ClusterResult watched = observer.run(copy);
+    for (size_t r = 0; r < R; ++r)
+        out[r] = inferBreakerTimeline(*watched.metrics[r],
+                                      cfg_.resilience.health);
+    return out;
 }
 
 std::vector<int64_t>
 ServingCluster::routeTrace(const std::vector<Request>& reqs) const
+{
+    return routeTraceImpl(reqs, nullptr);
+}
+
+std::vector<int64_t>
+ServingCluster::routeTraceImpl(
+    const std::vector<Request>& reqs,
+    const std::vector<BreakerTimeline>* pre) const
 {
     const auto R = static_cast<size_t>(cfg_.replicas);
     std::vector<int64_t> out(reqs.size(), 0);
@@ -190,6 +243,10 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
                 }
             }
             ShadowReplica& s = shadows[pick];
+            // Heterogeneous fleet: a scaled replica serves its queue at
+            // its own rate, so fast replicas drain sooner and attract
+            // more placements — the scale shifts load at routing time.
+            const double rbw = bw * bwScaleAt(pick);
             s.owned.push_back(q);
             Request* copy = &s.owned.back();
             copy->state = ReqState::Queued;
@@ -206,7 +263,7 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
             s.batcher.enqueue(copy);
             auto service = static_cast<dam::Cycle>(std::ceil(
                 static_cast<double>(q.promptLen + q.outputLen) * fpt /
-                bw));
+                rbw));
             service = std::max<dam::Cycle>(1, service);
             s.busyUntil = std::max(q.arrival, s.busyUntil) + service;
             s.inflight.push_back({copy, s.busyUntil});
@@ -225,11 +282,12 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
     // affinity outranks parking). All inputs are pure pre-computed
     // data, so the remap stays a deterministic pre-pass.
     if (cfg_.resilience.enabled) {
-        std::vector<BreakerTimeline> breakers(R);
-        for (size_t r = 0; r < R; ++r)
-            breakers[r] = computeBreakerTimeline(
-                cfg_.faults.forReplica(static_cast<int64_t>(r)),
-                cfg_.resilience.breaker);
+        std::vector<BreakerTimeline> computed;
+        if (pre == nullptr) {
+            computed = resilientBreakers(reqs);
+            pre = &computed;
+        }
+        const std::vector<BreakerTimeline>& breakers = *pre;
         const int64_t layers = cfg_.engine.numLayers > 0
                                    ? cfg_.engine.numLayers
                                    : cfg_.engine.model.numLayers;
@@ -266,7 +324,8 @@ ServingCluster::routeTrace(const std::vector<Request>& reqs) const
                     load, cfg_.faults, breakers, autoscale, at,
                     /*affinityOwner=*/-1,
                     cfg_.resilience.remotePrefix.affinityLoadFactor,
-                    cfg_.resilience.breaker.halfOpenLoadPenalty);
+                    cfg_.resilience.breaker.halfOpenLoadPenalty,
+                    cfg_.bwScales.empty() ? nullptr : &cfg_.bwScales);
                 if (best >= 0) {
                     r = static_cast<size_t>(best);
                     out[i] = best;
@@ -322,7 +381,15 @@ ServingCluster::run(std::vector<Request>& reqs)
                 "request trace must be sorted by arrival");
 
     const auto R = static_cast<size_t>(cfg_.replicas);
-    const std::vector<int64_t> assignment = routeTrace(reqs);
+    // Breaker timelines come first: routing consults them, and under
+    // BreakerSource::Telemetry deriving them runs a whole observation
+    // pass — computed once here and shared with failover placement.
+    const bool resilient = cfg_.resilience.enabled;
+    std::vector<BreakerTimeline> breakers;
+    if (resilient)
+        breakers = resilientBreakers(reqs);
+    const std::vector<int64_t> assignment =
+        routeTraceImpl(reqs, resilient ? &breakers : nullptr);
     const bool have_faults = !cfg_.faults.empty();
 
     // Per-replica fault timelines and seeds, derived on the coordinating
@@ -340,16 +407,10 @@ ServingCluster::run(std::vector<Request>& reqs)
     // timeline, and the per-replica cluster-instant lists the engines
     // will stamp onto their traces — all pure data derived before any
     // worker exists, like the fault plans and seeds above.
-    const bool resilient = cfg_.resilience.enabled;
-    std::vector<BreakerTimeline> breakers;
     std::vector<AutoscaleStep> autoscale;
     std::vector<std::vector<ClusterInstant>> instants(R);
     std::unordered_map<uint64_t, int64_t> affinity_owner;
     if (resilient) {
-        breakers.resize(R);
-        for (size_t r = 0; r < R; ++r)
-            breakers[r] = computeBreakerTimeline(
-                plans[r], cfg_.resilience.breaker);
         const int64_t layers = cfg_.engine.numLayers > 0
                                    ? cfg_.engine.numLayers
                                    : cfg_.engine.model.numLayers;
@@ -448,10 +509,21 @@ ServingCluster::run(std::vector<Request>& reqs)
     if (cfg_.trace.level != obs::TraceLevel::Off)
         traces.resize(R);
 
+    // One metrics registry per replica, same single-writer discipline
+    // as the trace sinks; re-simulated replicas get a fresh registry so
+    // the exported metrics describe the final timeline only.
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> mregs;
+    if (cfg_.metrics.enabled)
+        mregs.resize(R);
+
     auto run_replica = [&](size_t r) {
         EngineConfig ec = cfg_.engine;
         ec.seed = seeds[r];
         ec.faults = plans[r];
+        if (!cfg_.bwScales.empty())
+            ec.totalComputeBw = static_cast<int64_t>(std::llround(
+                static_cast<double>(cfg_.engine.totalComputeBw) *
+                cfg_.bwScales[r]));
         if (resilient) {
             // The drain fires on the same edge that opens the breaker:
             // detection is one signal, shared by routing and migration.
@@ -464,6 +536,8 @@ ServingCluster::run(std::vector<Request>& reqs)
         ServingEngine engine(ec, policy_);
         if (!traces.empty())
             engine.attachTrace(traces[r].get());
+        if (!mregs.empty())
+            engine.attachMetrics(mregs[r].get());
         ReplicaResult& out = results[r];
         out.replica = static_cast<int64_t>(r);
         out.seed = seeds[r];
@@ -478,6 +552,9 @@ ServingCluster::run(std::vector<Request>& reqs)
             work[r] = shard[r];
             if (!traces.empty())
                 traces[r] = std::make_unique<obs::TraceSink>(cfg_.trace);
+            if (!mregs.empty())
+                mregs[r] =
+                    std::make_unique<obs::MetricsRegistry>(cfg_.metrics);
         }
         const size_t T = static_cast<size_t>(std::min<int64_t>(
             threads, static_cast<int64_t>(todo.size())));
@@ -615,7 +692,8 @@ ServingCluster::run(std::vector<Request>& reqs)
                 best = pickResilientTarget(
                     load, cfg_.faults, breakers, autoscale, *re, owner,
                     cfg_.resilience.remotePrefix.affinityLoadFactor,
-                    cfg_.resilience.breaker.halfOpenLoadPenalty);
+                    cfg_.resilience.breaker.halfOpenLoadPenalty,
+                    cfg_.bwScales.empty() ? nullptr : &cfg_.bwScales);
             } else {
                 // Least-loaded replica alive at the re-arrival cycle;
                 // with none alive the retry could only be refused
@@ -797,6 +875,12 @@ ServingCluster::run(std::vector<Request>& reqs)
             ns.prefixPeakOccupancyMaxReplica =
                 old.prefixPeakOccupancyMaxReplica;
             ns.counters = old.counters;
+            // Windowed-SLO telemetry describes the replica's actual
+            // final timeline, which the recompute does not change.
+            ns.sloWindows = old.sloWindows;
+            ns.sloWindowsAttained = old.sloWindowsAttained;
+            ns.sloWorstWindowP95Ttft = old.sloWorstWindowP95Ttft;
+            ns.sloWorstWindowP95Tpot = old.sloWorstWindowP95Tpot;
             refreshPrefixDerivedStats(ns);
             old = std::move(ns);
         }
@@ -812,6 +896,8 @@ ServingCluster::run(std::vector<Request>& reqs)
     ClusterResult out;
     out.replicas = std::move(results);
     out.traces = std::move(traces);
+    out.metrics = std::move(mregs);
+    out.breakers = std::move(breakers);
     out.retriesIssued = retries_issued;
     out.migrationsIssued = migrations_issued;
     out.autoscale = std::move(autoscale);
@@ -823,8 +909,30 @@ ServingCluster::run(std::vector<Request>& reqs)
         out.totalIterations += rr.result.iterations;
     }
     out.aggregate = mergeSummaries(parts);
-    out.aggregate.computeUtilization = out.timeline.computeUtilization(
-        cfg_.engine.totalComputeBw * cfg_.replicas);
+    // Heterogeneous fleets provision sum(scale_r * bw) FLOPs/cycle; the
+    // unscaled expression is kept verbatim so scale-less runs stay
+    // bit-identical (no float round-trip).
+    int64_t provisioned = cfg_.engine.totalComputeBw * cfg_.replicas;
+    if (!cfg_.bwScales.empty()) {
+        double cap = 0.0;
+        for (size_t r = 0; r < R; ++r)
+            cap += static_cast<double>(cfg_.engine.totalComputeBw) *
+                   cfg_.bwScales[r];
+        provisioned = static_cast<int64_t>(std::llround(cap));
+    }
+    out.aggregate.computeUtilization =
+        out.timeline.computeUtilization(provisioned);
+    // The aggregate's windowed-SLO view comes from the replica-index-
+    // order merge of the registries (mergeSummaries recomputes latency
+    // percentiles from raw samples but leaves window fields zero).
+    if (!out.metrics.empty()) {
+        auto merged =
+            std::make_unique<obs::MetricsRegistry>(cfg_.metrics);
+        for (const auto& m : out.metrics)
+            merged->mergeFrom(*m);
+        applySloWindows(out.aggregate, *merged, cfg_.engine.slo);
+        out.mergedMetrics = std::move(merged);
+    }
     return out;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "obs/sink.hh"
 #include "runtime/engine.hh"
 
@@ -75,6 +76,17 @@ struct ClusterConfig
     int64_t replicas = 2;
     /** Worker threads; 0 means one per replica. */
     int64_t threads = 0;
+    /**
+     * Static per-replica compute-capacity scales for a heterogeneous
+     * fleet (empty = every replica at 1.0, the default — run() is then
+     * bit-identical to a scale-less build). Replica r simulates with
+     * round(engine.totalComputeBw * bwScales[r]); the least-queued
+     * router's shadow service times, the resilience tier's
+     * health-scored placement (pickResilientTarget divides load by the
+     * scale), and the merged utilization denominator all honor the
+     * scale. Must be empty or have exactly `replicas` positive entries.
+     */
+    std::vector<double> bwScales;
     RouteKind routing = RouteKind::RoundRobin;
     /**
      * Cluster-wide fault plan (empty = fault-free, the default — run()
@@ -120,6 +132,19 @@ struct ClusterConfig
      * so exported traces always describe the final timeline.
      */
     obs::TraceOptions trace;
+    /**
+     * Streaming metrics (enabled = false is the default — run() is then
+     * bit-identical to a metrics-less build). When enabled, run()
+     * creates one MetricsRegistry per replica *before* workers spawn
+     * (single-writer, like the trace sinks), each engine samples its
+     * instrument set into its replica's registry at iteration
+     * boundaries, and ClusterResult hands back the per-replica
+     * registries plus their replica-index-order merge — so the exported
+     * artifact is bit-identical whatever the thread count. Replicas
+     * re-simulated by a failover wave get a fresh registry, so metrics
+     * always describe the final timeline.
+     */
+    obs::MetricsConfig metrics;
 };
 
 struct ReplicaResult
@@ -151,6 +176,18 @@ struct ClusterResult
      *  ClusterConfig::trace.level is Off. unique_ptr keeps the sinks'
      *  addresses stable across the result's moves. */
     std::vector<std::unique_ptr<obs::TraceSink>> traces;
+    /** Per-replica metrics registries (replica-index order); empty when
+     *  ClusterConfig::metrics.enabled is false. */
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> metrics;
+    /** Replica-index-order merge of `metrics` (null when disabled);
+     *  the cluster aggregate's windowed-SLO fields are computed from
+     *  this registry. */
+    std::unique_ptr<obs::MetricsRegistry> mergedMetrics;
+    /** The breaker timelines the router and failover placement actually
+     *  consulted (empty unless the resilience tier is enabled):
+     *  plan-derived by default, telemetry-inferred under
+     *  BreakerSource::Telemetry. Exposed for tests and tools. */
+    std::vector<BreakerTimeline> breakers;
 
     /** Borrowed views of `traces` in export order (replica order),
      *  ready to pass to the obs exporters. */
@@ -161,6 +198,18 @@ struct ClusterResult
         out.reserve(traces.size());
         for (const auto& t : traces)
             out.push_back(t.get());
+        return out;
+    }
+
+    /** Borrowed views of `metrics` in export order (replica order),
+     *  ready to pass to the obs metrics exporters. */
+    std::vector<const obs::MetricsRegistry*>
+    metricsViews() const
+    {
+        std::vector<const obs::MetricsRegistry*> out;
+        out.reserve(metrics.size());
+        for (const auto& m : metrics)
+            out.push_back(m.get());
         return out;
     }
 };
@@ -200,6 +249,28 @@ class ServingCluster
     std::vector<int64_t> routeTrace(const std::vector<Request>& reqs) const;
 
   private:
+    /**
+     * The breaker timelines the resilience tier will consult, by
+     * ClusterConfig::resilience.breakerSource: plan-derived
+     * (computeBreakerTimeline per replica) or telemetry-inferred — an
+     * observation pass runs the *plain fault tier* on a copy of the
+     * trace (resilience off, traces off, metrics forced on at the
+     * health monitor's window width) and feeds each replica's windowed
+     * failure counts and TTFT p95 to inferBreakerTimeline. Both are
+     * pure pre-passes on the coordinating thread, so routing stays
+     * deterministic and thread-count independent.
+     */
+    std::vector<BreakerTimeline>
+    resilientBreakers(const std::vector<Request>& reqs) const;
+    /** routeTrace with the resilience pre-pass's breaker timelines
+     *  precomputed (null = compute internally). Lets run() share one
+     *  observation pass between routing and failover placement. */
+    std::vector<int64_t>
+    routeTraceImpl(const std::vector<Request>& reqs,
+                   const std::vector<BreakerTimeline>* breakers) const;
+    /** bwScales[r], or 1.0 for an unscaled fleet. */
+    double bwScaleAt(size_t r) const;
+
     ClusterConfig cfg_;
     const Policy& policy_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "obs/sink.hh"
 #include "support/error.hh"
 #include "support/rng.hh"
@@ -72,6 +73,38 @@ struct ResilienceCounters
     {}
 };
 
+/**
+ * Handles into the attached MetricsRegistry, resolved once per run.
+ * Two latency histograms (windowed percentile signal for the SLO
+ * monitor and the telemetry health monitor) plus window-aggregate
+ * series for lifecycle events and per-iteration gauges.
+ */
+struct MetricsInstruments
+{
+    obs::MetricsRegistry::Handle ttft, tpot, finished, failed, shed,
+        migrated, deadlineMisses, sloGoodTokens, queueDepth,
+        runningRequests, decodeBatch, kvReservedBytes, generatedTokens,
+        prefillTokens, iterCycles;
+
+    explicit MetricsInstruments(obs::MetricsRegistry& m)
+        : ttft(m.histogram("ttft_cycles")),
+          tpot(m.histogram("tpot_cycles")),
+          finished(m.series("requests_finished")),
+          failed(m.series("requests_failed")),
+          shed(m.series("requests_shed")),
+          migrated(m.series("requests_migrated")),
+          deadlineMisses(m.series("deadline_misses")),
+          sloGoodTokens(m.series("slo_good_tokens")),
+          queueDepth(m.series("queue_depth")),
+          runningRequests(m.series("running_requests")),
+          decodeBatch(m.series("decode_batch")),
+          kvReservedBytes(m.series("kv_reserved_bytes")),
+          generatedTokens(m.series("generated_tokens")),
+          prefillTokens(m.series("prefill_tokens")),
+          iterCycles(m.series("iter_cycles"))
+    {}
+};
+
 } // namespace
 
 EngineConfig::EngineConfig() : model(servingSimConfig()) {}
@@ -134,6 +167,9 @@ ServingEngine::run(std::vector<Request>& reqs)
     std::unique_ptr<EngineCounters> ctr;
     if (trace_)
         ctr = std::make_unique<EngineCounters>(trace_->counters());
+    std::unique_ptr<MetricsInstruments> mtr;
+    if (metrics_)
+        mtr = std::make_unique<MetricsInstruments>(*metrics_);
 
     // ---- fault tier ---------------------------------------------------
     const ReplicaFaultTimeline& faults = cfg_.faults;
@@ -182,9 +218,21 @@ ServingEngine::run(std::vector<Request>& reqs)
         batcher.release(r);
         ++terminal;
         if (trace_) [[unlikely]] {
-            trace_->reqFinished(r->id, at);
+            trace_->reqFinished(r->id, r->attempt, at);
             if (fctr && r->deadlineAt != 0 && at > r->deadlineAt)
                 trace_->counters().add(fctr->deadlineMisses, 1);
+        }
+        if (mtr) [[unlikely]] {
+            metrics_->record(mtr->finished, at, 1);
+            if (r->outputLen > 1)
+                metrics_->record(
+                    mtr->tpot, at,
+                    static_cast<uint64_t>(std::llround(tpot(*r))));
+            if (r->deadlineAt != 0 && at > r->deadlineAt)
+                metrics_->record(mtr->deadlineMisses, at, 1);
+            if (cfg_.slo.meets(*r))
+                metrics_->record(mtr->sloGoodTokens, at,
+                                 static_cast<uint64_t>(r->generated));
         }
     };
     // Terminal failure (replica crash): KV/cache bookkeeping is the
@@ -194,10 +242,12 @@ ServingEngine::run(std::vector<Request>& reqs)
         r->finishedAt = at;
         ++terminal;
         if (trace_) [[unlikely]] {
-            trace_->reqFailed(r->id, at);
+            trace_->reqFailed(r->id, r->attempt, at);
             if (fctr)
                 trace_->counters().add(fctr->requestsFailed, 1);
         }
+        if (mtr) [[unlikely]]
+            metrics_->record(mtr->failed, at, 1);
     };
     // Live migration exit: the incarnation ends here carrying
     // @p kv_tokens of computed KV for the handoff; the cluster turns it
@@ -208,10 +258,13 @@ ServingEngine::run(std::vector<Request>& reqs)
         r->finishedAt = at;
         ++terminal;
         if (trace_) [[unlikely]] {
-            trace_->reqMigrated(r->id, at, kv_tokens);
+            trace_->reqMigrated(r->id, r->attempt, at, kv_tokens);
             if (rctr)
                 trace_->counters().add(rctr->requestsMigrated, 1);
         }
+        if (mtr) [[unlikely]]
+            metrics_->record(mtr->migrated, at,
+                             static_cast<uint64_t>(kv_tokens));
     };
 
     // Iteration-graph parameters shared across iterations; the per-
@@ -449,14 +502,16 @@ ServingEngine::run(std::vector<Request>& reqs)
             r->finishedAt = now;
             ++terminal;
             if (trace_) [[unlikely]] {
-                trace_->reqShed(r->id, now);
+                trace_->reqShed(r->id, r->attempt, now);
                 if (fctr)
                     trace_->counters().add(fctr->requestsShed, 1);
             }
+            if (mtr) [[unlikely]]
+                metrics_->record(mtr->shed, now, 1);
         }
         if (trace_) [[unlikely]] {
             for (const Request* r : adm.admitted)
-                trace_->reqAdmitted(r->id, r->cachedPrefixTokens, now);
+                trace_->reqAdmitted(r->id, r->attempt, r->cachedPrefixTokens, now);
             for (const Request* r : adm.capped) {
                 trace_->reqCapped(r->id, now, r->outputLen);
                 if (rctr)
@@ -618,7 +673,10 @@ ServingEngine::run(std::vector<Request>& reqs)
                 ++first_tokens;
                 r->state = ReqState::Decoding;
                 if (trace_) [[unlikely]]
-                    trace_->reqFirstToken(r->id, r->firstTokenAt);
+                    trace_->reqFirstToken(r->id, r->attempt, r->firstTokenAt);
+                if (mtr) [[unlikely]]
+                    metrics_->record(mtr->ttft, r->firstTokenAt,
+                                     r->firstTokenAt - r->arrival);
                 // The completed prompt prefix becomes cacheable for the
                 // session's (or any prefix-sharing) next request.
                 if (cache)
@@ -667,6 +725,24 @@ ServingEngine::run(std::vector<Request>& reqs)
                   static_cast<int64_t>(decodes.size()) + first_tokens);
             trace_->sampleCounters(now);
         }
+        if (mtr) [[unlikely]] {
+            metrics_->record(mtr->queueDepth, now,
+                             static_cast<uint64_t>(
+                                 batcher.waitingCount()));
+            metrics_->record(mtr->runningRequests, now,
+                             batcher.running().size());
+            metrics_->record(mtr->decodeBatch, now,
+                             static_cast<uint64_t>(sample.decodeBatch));
+            metrics_->record(mtr->kvReservedBytes, now,
+                             static_cast<uint64_t>(
+                                 batcher.kvBytesReserved()));
+            metrics_->record(mtr->generatedTokens, now,
+                             decodes.size() +
+                                 static_cast<uint64_t>(first_tokens));
+            metrics_->record(mtr->prefillTokens, now,
+                             static_cast<uint64_t>(prefilled_tokens));
+            metrics_->record(mtr->iterCycles, now, iter_cycles);
+        }
     }
 
     // Abort-path accounting invariant: every KV reservation and prefix
@@ -704,6 +780,8 @@ ServingEngine::run(std::vector<Request>& reqs)
     }
     if (trace_)
         res.summary.counters = trace_->counters().snapshot();
+    if (metrics_)
+        applySloWindows(res.summary, *metrics_, cfg_.slo);
     return res;
 }
 

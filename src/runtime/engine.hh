@@ -32,6 +32,7 @@
 
 namespace step::obs {
 class TraceSink;
+class MetricsRegistry;
 }
 
 namespace step::runtime {
@@ -181,10 +182,25 @@ class ServingEngine
     void attachTrace(obs::TraceSink* sink) { trace_ = sink; }
     obs::TraceSink* trace() const { return trace_; }
 
+    /**
+     * Attach (or detach, with nullptr) a metrics registry. run() then
+     * registers the engine's instrument set (TTFT/TPOT histograms,
+     * per-iteration gauges, lifecycle event series — see README) and
+     * records into it at iteration boundaries and request lifecycle
+     * events, and fills the summary's windowed-SLO fields. Sampling
+     * never influences control flow, so a metrics-on run is identical
+     * to a metrics-off run in every other output byte; with none
+     * attached the only cost is one predicted branch per hook site
+     * (the hot path stays allocation-free).
+     */
+    void attachMetrics(obs::MetricsRegistry* m) { metrics_ = m; }
+    obs::MetricsRegistry* metrics() const { return metrics_; }
+
   private:
     EngineConfig cfg_;
     const Policy& policy_;
     obs::TraceSink* trace_ = nullptr;
+    obs::MetricsRegistry* metrics_ = nullptr;
     dam::Scheduler sched_; ///< reused across per-iteration graphs
     GraphArena arena_;     ///< backs the recycled iteration graph
     std::unique_ptr<Graph> iterGraph_; ///< lazily created when recycling

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "obs/metrics.hh"
 #include "support/error.hh"
 #include "support/stats.hh"
 
@@ -40,9 +41,11 @@ finalizeDerivedStats(ServingSummary& s)
     std::vector<double> tpot = s.tpotSamples;
     std::sort(tpot.begin(), tpot.end());
     s.ttftP50 = percentileSorted(ttft, 50.0);
+    s.ttftP95 = percentileSorted(ttft, 95.0);
     s.ttftP99 = percentileSorted(ttft, 99.0);
     s.ttftMean = mean(ttft);
     s.tpotP50 = percentileSorted(tpot, 50.0);
+    s.tpotP95 = percentileSorted(tpot, 95.0);
     s.tpotP99 = percentileSorted(tpot, 99.0);
     s.tpotMean = mean(tpot);
     refreshPrefixDerivedStats(s);
@@ -208,6 +211,17 @@ printSummary(const ServingSummary& s, std::ostream& os)
             os << ", " << s.migratedRequests << " migrated";
         os << "\n";
     }
+    // SLO-window line only when a metrics registry fed the run: the
+    // fault-line pattern, so metrics-off runs keep their exact bytes.
+    if (s.sloWindows > 0) {
+        os << "slo windows        : " << s.sloWindowsAttained << "/"
+           << s.sloWindows << " attained ("
+           << 100.0 * static_cast<double>(s.sloWindowsAttained) /
+                  static_cast<double>(s.sloWindows)
+           << " %), worst window p95 TTFT " << s.sloWorstWindowP95Ttft
+           << " cycles, p95 TPOT " << s.sloWorstWindowP95Tpot
+           << " cycles/token\n";
+    }
     if (s.prefixLookups > 0) {
         os << "prefix cache       : " << 100.0 * s.prefixHitRate
            << " % hit rate (" << s.prefixHits << "/" << s.prefixLookups
@@ -227,6 +241,59 @@ printSummary(const ServingSummary& s, std::ostream& os)
             os << " " << c.name << "=" << c.value;
         os << "\n";
     }
+}
+
+SloWindowStats
+computeSloWindows(const obs::MetricsRegistry& m, const SloConfig& slo)
+{
+    SloWindowStats st;
+    const obs::MetricsRegistry::Instrument* ttft_i =
+        m.find("ttft_cycles");
+    const obs::MetricsRegistry::Instrument* tpot_i =
+        m.find("tpot_cycles");
+    const obs::MetricsRegistry::Instrument* miss_i =
+        m.find("deadline_misses");
+    size_t slots = 0;
+    if (ttft_i)
+        slots = std::max(slots, ttft_i->series.windowSlots());
+    if (tpot_i)
+        slots = std::max(slots, tpot_i->series.windowSlots());
+    for (size_t w = 0; w < slots; ++w) {
+        const obs::LogHistogram* th =
+            ttft_i ? ttft_i->series.windowHistogram(w) : nullptr;
+        const obs::LogHistogram* ph =
+            tpot_i ? tpot_i->series.windowHistogram(w) : nullptr;
+        if ((!th || th->empty()) && (!ph || ph->empty()))
+            continue; // no completion latency observed this window
+        ++st.windows;
+        bool ok = true;
+        if (th && !th->empty()) {
+            const uint64_t p95 = th->percentile(95.0);
+            st.worstP95Ttft = std::max(st.worstP95Ttft, p95);
+            ok = ok && static_cast<double>(p95) <= slo.ttftCycles;
+        }
+        if (ph && !ph->empty()) {
+            const uint64_t p95 = ph->percentile(95.0);
+            st.worstP95Tpot = std::max(st.worstP95Tpot, p95);
+            ok = ok && static_cast<double>(p95) <= slo.tpotCycles;
+        }
+        if (miss_i && miss_i->series.window(w).count > 0)
+            ok = false;
+        if (ok)
+            ++st.attained;
+    }
+    return st;
+}
+
+void
+applySloWindows(ServingSummary& s, const obs::MetricsRegistry& m,
+                const SloConfig& slo)
+{
+    const SloWindowStats st = computeSloWindows(m, slo);
+    s.sloWindows = st.windows;
+    s.sloWindowsAttained = st.attained;
+    s.sloWorstWindowP95Ttft = st.worstP95Ttft;
+    s.sloWorstWindowP95Tpot = st.worstP95Tpot;
 }
 
 } // namespace step::runtime

@@ -14,6 +14,10 @@
 #include "obs/counters.hh"
 #include "runtime/request.hh"
 
+namespace step::obs {
+class MetricsRegistry;
+}
+
 namespace step::runtime {
 
 /** Per-request latencies (cycles). */
@@ -41,8 +45,8 @@ struct ServingSummary
     int64_t generatedTokens = 0;
     dam::Cycle makespan = 0;
 
-    double ttftP50 = 0, ttftP99 = 0, ttftMean = 0;
-    double tpotP50 = 0, tpotP99 = 0, tpotMean = 0;
+    double ttftP50 = 0, ttftP95 = 0, ttftP99 = 0, ttftMean = 0;
+    double tpotP50 = 0, tpotP95 = 0, tpotP99 = 0, tpotMean = 0;
 
     int64_t sloCompliant = 0; ///< completed requests meeting the SLO
     int64_t sloGoodTokens = 0; ///< tokens from SLO-compliant requests
@@ -80,6 +84,17 @@ struct ServingSummary
      * completed requests count once, as completions.
      */
     double availability = 1.0;
+
+    // ---- windowed SLO attainment (all 0 without a metrics registry) --
+    /** Fixed windows with at least one completion-latency sample. */
+    int64_t sloWindows = 0;
+    /** Of those, windows whose p95 TTFT and p95 TPOT met the SLO with
+     *  no deadline miss — the per-window attainment the sims report. */
+    int64_t sloWindowsAttained = 0;
+    /** Worst windowed p95 TTFT / TPOT (bucket representatives, cycles);
+     *  the tail the run-level p99 averages away. */
+    uint64_t sloWorstWindowP95Ttft = 0;
+    uint64_t sloWorstWindowP95Tpot = 0;
 
     // ---- prefix-cache metrics (all 0 when the cache is disabled) -----
     /** Prompt tokens of completed requests (denominator for savings). */
@@ -164,5 +179,29 @@ ServingSummary mergeSummaries(const std::vector<ServingSummary>& parts);
 void refreshPrefixDerivedStats(ServingSummary& s);
 
 void printSummary(const ServingSummary& s, std::ostream& os);
+
+/**
+ * Windowed SLO attainment computed from a metrics registry's
+ * `ttft_cycles` / `tpot_cycles` histogram deltas and `deadline_misses`
+ * series. A window is monitored when either latency instrument saw a
+ * sample; it is attained when every present signal met its target
+ * (p95 TTFT <= slo.ttftCycles, p95 TPOT <= slo.tpotCycles, zero
+ * deadline misses). Deterministic: percentiles are bucket
+ * representatives, windows are walked in index order.
+ */
+struct SloWindowStats
+{
+    int64_t windows = 0;
+    int64_t attained = 0;
+    uint64_t worstP95Ttft = 0;
+    uint64_t worstP95Tpot = 0;
+};
+
+SloWindowStats computeSloWindows(const obs::MetricsRegistry& m,
+                                 const SloConfig& slo);
+
+/** Fold computeSloWindows into the summary's slo* fields. */
+void applySloWindows(ServingSummary& s, const obs::MetricsRegistry& m,
+                     const SloConfig& slo);
 
 } // namespace step::runtime

@@ -109,15 +109,15 @@ PrefixCache::acquire(Request& r)
         n->lastUsed = ++tick_;
         n->lastTouch = clock_;
     }
-    STEP_ASSERT(pinned_.find(r.id) == pinned_.end(),
+    STEP_ASSERT(pinned_.find(&r) == pinned_.end(),
                 "request " << r.id << " acquired the prefix cache twice");
-    pinned_.emplace(r.id, deepest);
+    pinned_.emplace(&r, deepest);
 }
 
 void
 PrefixCache::release(const Request& r)
 {
-    auto it = pinned_.find(r.id);
+    auto it = pinned_.find(&r);
     if (it == pinned_.end())
         return;
     for (Node* n = it->second; n != &root_; n = n->parent) {

@@ -173,7 +173,14 @@ class PrefixCache
     std::set<std::pair<uint64_t, uint64_t>> evictQueue_;
     std::unordered_map<uint64_t, Node*> byId_;
     /** Deepest pinned node per admitted request id. */
-    std::unordered_map<int64_t, Node*> pinned_;
+    /**
+     * Pins key on the incarnation object, not the request id: fault-
+     * tier re-simulation can leave a superseded incarnation and its
+     * successor concurrently admitted on one replica (the phantom-
+     * duplicate case the cluster's accounting drops), and each must
+     * hold its own pin.
+     */
+    std::unordered_map<const Request*, Node*> pinned_;
 };
 
 } // namespace step::runtime

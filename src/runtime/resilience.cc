@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "support/error.hh"
+
 namespace step::runtime {
 
 // ---- circuit breakers --------------------------------------------------
@@ -62,6 +65,118 @@ computeBreakerTimeline(const ReplicaFaultTimeline& t,
     std::sort(b.open.begin(), b.open.end(), byStart);
     std::sort(b.halfOpen.begin(), b.halfOpen.end(), byStart);
     return b;
+}
+
+// ---- telemetry-inferred breakers ---------------------------------------
+
+bool
+parseBreakerSource(std::string_view s, BreakerSource* out)
+{
+    if (s == "plan") {
+        *out = BreakerSource::Plan;
+        return true;
+    }
+    if (s == "telemetry") {
+        *out = BreakerSource::Telemetry;
+        return true;
+    }
+    return false;
+}
+
+void
+HealthMonitor::observeWindow(uint64_t failed, uint64_t first_tokens,
+                             uint64_t p95_ttft)
+{
+    // Decisions land when the window closes — the monitor cannot act
+    // on a window it has not fully observed.
+    const dam::Cycle close_at =
+        dam::Cycle(window_ + 1) * cfg_.windowCycles;
+    ++window_;
+    const bool error =
+        cfg_.openOnErrors > 0 && failed >= uint64_t(cfg_.openOnErrors);
+    const bool degraded =
+        !error && first_tokens > 0 &&
+        double(p95_ttft) > cfg_.degradedTtftCycles;
+    const bool healthy =
+        !error && !degraded && first_tokens > 0;
+    if (!open_) {
+        if (error) {
+            open_ = true;
+            openAt_ = close_at;
+            degraded_ = 0;
+        } else if (degraded) {
+            if (++degraded_ >= cfg_.openAfterDegraded) {
+                open_ = true;
+                openAt_ = close_at;
+                degraded_ = 0;
+            }
+        } else if (healthy) {
+            degraded_ = 0;
+        }
+        // Quiet window while closed: the degraded streak neither grows
+        // nor resets — no evidence either way.
+        return;
+    }
+    if (error || degraded) {
+        healthy_ = 0;
+        return;
+    }
+    if (healthy && ++healthy_ >= cfg_.closeAfterHealthy) {
+        tl_.open.push_back({openAt_, close_at});
+        tl_.halfOpen.push_back(
+            {close_at, close_at + cfg_.cooldownCycles});
+        open_ = false;
+        healthy_ = 0;
+    }
+}
+
+BreakerTimeline
+HealthMonitor::finish()
+{
+    if (open_) {
+        // Still open when the telemetry ends: permanent, like a
+        // plan-derived breaker for an unrecovered crash.
+        tl_.open.push_back({openAt_, 0});
+        open_ = false;
+    }
+    return std::move(tl_);
+}
+
+BreakerTimeline
+inferBreakerTimeline(const obs::MetricsRegistry& m,
+                     const HealthMonitorConfig& cfg)
+{
+    STEP_ASSERT(m.config().windowCycles == cfg.windowCycles,
+                "health monitor window ("
+                    << cfg.windowCycles
+                    << ") does not match the metrics registry's ("
+                    << m.config().windowCycles << ")");
+    HealthMonitor hm(cfg);
+    const obs::MetricsRegistry::Instrument* fail =
+        m.find("requests_failed");
+    const obs::MetricsRegistry::Instrument* ttft =
+        m.find("ttft_cycles");
+    size_t slots = 0;
+    if (fail)
+        slots = std::max(slots, fail->series.windowSlots());
+    if (ttft)
+        slots = std::max(slots, ttft->series.windowSlots());
+    for (size_t w = 0; w < slots; ++w) {
+        const uint64_t failed =
+            fail ? fail->series.window(w).count : 0;
+        uint64_t first_tokens = 0;
+        uint64_t p95 = 0;
+        if (ttft) {
+            if (const obs::LogHistogram* h =
+                    ttft->series.windowHistogram(w);
+                h && !h->empty()) {
+                first_tokens = h->count();
+                p95 = h->percentile(95.0);
+            }
+        }
+        hm.observeWindow(failed, first_tokens, p95);
+    }
+    return hm.finish();
 }
 
 // ---- overload brown-out ------------------------------------------------
@@ -206,7 +321,8 @@ pickResilientTarget(const std::vector<int64_t>& load,
                     const std::vector<AutoscaleStep>& autoscale,
                     dam::Cycle at, int64_t affinityOwner,
                     double affinityLoadFactor,
-                    double halfOpenLoadPenalty)
+                    double halfOpenLoadPenalty,
+                    const std::vector<double>* bwScales)
 {
     const int64_t n = int64_t(load.size());
     const int64_t active = autoscaleActiveAt(autoscale, at, n);
@@ -253,7 +369,14 @@ pickResilientTarget(const std::vector<int64_t>& load,
     int64_t best = -1;
     double bestScore = 0.0;
     for (int64_t r : cand) {
-        double score = double(load[r]) / slowFactorAt(plan, r, at);
+        // Effective bandwidth factor: transient slowdown x static
+        // capacity scale — a half-speed replica should absorb half
+        // the queue, whichever way it got slow.
+        double factor = slowFactorAt(plan, r, at);
+        if (bwScales && r < int64_t(bwScales->size()) &&
+            (*bwScales)[size_t(r)] > 0.0)
+            factor *= (*bwScales)[size_t(r)];
+        double score = double(load[r]) / factor;
         if (r < int64_t(breakers.size()) &&
             breakers[r].stateAt(at) == BreakerState::HalfOpen)
             score *= halfOpenLoadPenalty;

@@ -39,10 +39,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "runtime/faults.hh"
 #include "runtime/request.hh"
+
+namespace step::obs {
+class MetricsRegistry;
+}
 
 namespace step::runtime {
 
@@ -99,6 +104,91 @@ struct BreakerTimeline
 /** Derive a replica's breaker timeline from its fault timeline. */
 BreakerTimeline computeBreakerTimeline(const ReplicaFaultTimeline& t,
                                        const BreakerConfig& cfg);
+
+// ---- telemetry-inferred breakers ---------------------------------------
+
+/**
+ * Where the cluster's breaker timelines come from. Plan (the default)
+ * derives them from the fault plan's ground truth via
+ * computeBreakerTimeline. Telemetry infers them *online* from each
+ * replica's windowed metrics — failed-request counts and windowed p95
+ * TTFT — the production-faithful variant: it only knows what a client-
+ * side monitor could observe, so it detects crashes one window late,
+ * needs consecutive evidence for slowdowns, can miss a fault an idle
+ * replica never surfaces, and can open on load-induced latency the
+ * plan never scripted (the divergence-under-noise the tests pin).
+ */
+enum class BreakerSource : uint8_t { Plan, Telemetry };
+
+/** Parse "plan" / "telemetry"; returns false on anything else. */
+bool parseBreakerSource(std::string_view s, BreakerSource* out);
+
+/**
+ * Health-monitor thresholds for telemetry-inferred breakers. All
+ * decisions land on window-close edges (cycle (w+1)*windowCycles), so
+ * the inferred timeline is causal: it only uses windows that had
+ * fully closed by the decision cycle.
+ */
+struct HealthMonitorConfig
+{
+    /** Telemetry aggregation window; also the detection quantum. */
+    dam::Cycle windowCycles = 2'000'000;
+    /** A window is degraded when its p95 TTFT exceeds this. The
+     *  default matches SloConfig::ttftCycles. */
+    double degradedTtftCycles = 5e6;
+    /** Consecutive degraded windows before the breaker opens. */
+    int64_t openAfterDegraded = 2;
+    /** Failed requests in one window that open it immediately (the
+     *  crash signal; 0 disables error-triggered opens). */
+    int64_t openOnErrors = 1;
+    /** Consecutive healthy windows (>= 1 first token, p95 within
+     *  threshold, no failures) before an open breaker closes. Windows
+     *  with no evidence either way — an opened replica is routed
+     *  around, so its windows go quiet — neither close nor extend. */
+    int64_t closeAfterHealthy = 2;
+    /** Half-open probation length after an inferred close. */
+    dam::Cycle cooldownCycles = 2'000'000;
+};
+
+/**
+ * Streaming per-replica breaker-state machine over closed telemetry
+ * windows. Feed windows in increasing index order (one observeWindow
+ * per window, empty ones included); finish() seals a still-open
+ * breaker as permanent and returns the inferred timeline. Pure state
+ * machine over its inputs — bit-deterministic like the plan pre-pass.
+ */
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(HealthMonitorConfig cfg) : cfg_(cfg) {}
+
+    /** One closed window: failed-request count, first-token count, and
+     *  windowed p95 TTFT (ignored when @p first_tokens is 0). */
+    void observeWindow(uint64_t failed, uint64_t first_tokens,
+                       uint64_t p95_ttft);
+
+    BreakerTimeline finish();
+
+  private:
+    HealthMonitorConfig cfg_;
+    BreakerTimeline tl_;
+    int64_t window_ = 0;
+    int64_t degraded_ = 0;
+    int64_t healthy_ = 0;
+    bool open_ = false;
+    dam::Cycle openAt_ = 0;
+};
+
+/**
+ * Infer one replica's breaker timeline from its metrics registry
+ * (instruments `requests_failed` and `ttft_cycles`; the registry's
+ * window width must equal cfg.windowCycles). This is the ROADMAP's
+ * "breaker feedback from observed latency" follow-on: the cluster runs
+ * an observation pass with metrics on, infers timelines per replica,
+ * and the resilient run consults them exactly like plan-derived ones.
+ */
+BreakerTimeline inferBreakerTimeline(const obs::MetricsRegistry& m,
+                                     const HealthMonitorConfig& cfg);
 
 // ---- live request migration -------------------------------------------
 
@@ -244,15 +334,18 @@ int64_t autoscaleActiveAt(const std::vector<AutoscaleStep>& steps,
  * affinityLoadFactor x the least-loaded candidate's; otherwise the
  * lowest health-scored load wins, where a candidate's score is its
  * assigned load scaled up by its current slowdown (1/bwFactor) and the
- * half-open penalty. Ties break to the lowest index. Returns -1 when
- * no replica is alive. Pure function of its arguments.
+ * half-open penalty, and scaled down by its static capacity scale
+ * (@p bwScales; null or short = 1.0 — a 2x replica absorbs 2x the
+ * queue). Ties break to the lowest index. Returns -1 when no replica
+ * is alive. Pure function of its arguments.
  */
 int64_t pickResilientTarget(
     const std::vector<int64_t>& load, const FaultPlan& plan,
     const std::vector<BreakerTimeline>& breakers,
     const std::vector<AutoscaleStep>& autoscale, dam::Cycle at,
     int64_t affinityOwner, double affinityLoadFactor,
-    double halfOpenLoadPenalty);
+    double halfOpenLoadPenalty,
+    const std::vector<double>* bwScales = nullptr);
 
 // ---- cluster-level instants -------------------------------------------
 
@@ -295,6 +388,20 @@ struct ResilienceConfig
     BreakerConfig breaker;
     RemotePrefixConfig remotePrefix;
     AutoscaleConfig autoscale;
+    /**
+     * Plan: breakers from computeBreakerTimeline (ground truth).
+     * Telemetry: the cluster first runs an observation pass (the plain
+     * fault tier, metrics force-enabled at health.windowCycles, no
+     * resilience machinery) and infers each replica's timeline with
+     * inferBreakerTimeline; the resilient run then consults the
+     * inferred timelines everywhere the plan-derived ones are used.
+     * Engine-side slowdown drains stay plan-driven either way — they
+     * model the replica's own local detection, not the cluster
+     * monitor. Plan-source runs are byte-identical to builds without
+     * this knob.
+     */
+    BreakerSource breakerSource = BreakerSource::Plan;
+    HealthMonitorConfig health;
 };
 
 } // namespace step::runtime

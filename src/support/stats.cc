@@ -88,4 +88,15 @@ percentile(std::vector<double> xs, double p)
     return percentileSorted(xs, p);
 }
 
+std::vector<double>
+percentiles(std::vector<double> xs, const std::vector<double>& ps)
+{
+    std::sort(xs.begin(), xs.end());
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (double p : ps)
+        out.push_back(percentileSorted(xs, p));
+    return out;
+}
+
 } // namespace step

@@ -32,4 +32,13 @@ double percentile(std::vector<double> xs, double p);
  */
 double percentileSorted(const std::vector<double>& xs, double p);
 
+/**
+ * All requested ranks from ONE sorted copy of @p xs — result[i] ==
+ * percentile(xs, ps[i]) exactly, without the per-quantile re-sort that
+ * repeated percentile() calls pay. Use this whenever more than one
+ * quantile of the same samples is reported.
+ */
+std::vector<double> percentiles(std::vector<double> xs,
+                                const std::vector<double>& ps);
+
 } // namespace step

@@ -384,3 +384,79 @@ TEST(Cluster, PerReplicaSeedsDeriveFromReplicaIdAndDecorrelate)
     }
     EXPECT_EQ(seeds.size(), 4u); // decorrelated, not copies of the base
 }
+
+// ---- heterogeneous replica capacity ------------------------------------
+
+TEST(Cluster, MixedFleetBwScalesShiftLoadTowardFastReplicas)
+{
+    TraceConfig tc = skewedTrace(96);
+    QueueDepthPolicy policy;
+
+    ClusterConfig uniform;
+    uniform.replicas = 4;
+    uniform.routing = RouteKind::LeastQueued;
+
+    ClusterConfig mixed = uniform;
+    mixed.bwScales = {2.0, 2.0, 0.5, 0.5};
+
+    auto reqs = generateTrace(tc, deriveSeed(2));
+    const std::vector<int64_t> ua =
+        ServingCluster(uniform, policy).routeTrace(reqs);
+    const std::vector<int64_t> ma =
+        ServingCluster(mixed, policy).routeTrace(reqs);
+    ASSERT_EQ(ua.size(), reqs.size());
+    ASSERT_EQ(ma.size(), reqs.size());
+
+    auto tokens_on = [&](const std::vector<int64_t>& a, int64_t lo,
+                         int64_t hi) {
+        int64_t t = 0;
+        for (size_t i = 0; i < reqs.size(); ++i)
+            if (a[i] >= lo && a[i] <= hi)
+                t += reqs[i].promptLen + reqs[i].outputLen;
+        return t;
+    };
+    // The shadow router models per-replica service bandwidth, so the
+    // 2x replicas drain faster and absorb more of the token stream
+    // than the 0.5x pair — and more than they get in a uniform fleet.
+    EXPECT_GT(tokens_on(ma, 0, 1), tokens_on(ma, 2, 3));
+    EXPECT_GT(tokens_on(ma, 0, 1), tokens_on(ua, 0, 1));
+}
+
+TEST(Cluster, MixedFleetRunsThreadInvariantAndUnitScalesAreIdentity)
+{
+    TraceConfig tc = clusterTrace(64);
+    QueueDepthPolicy policy;
+
+    auto run_with = [&](std::vector<double> scales, int64_t threads) {
+        ClusterConfig cc;
+        cc.replicas = 4;
+        cc.threads = threads;
+        cc.routing = RouteKind::LeastQueued;
+        cc.bwScales = std::move(scales);
+        auto reqs = generateTrace(tc, deriveSeed(2));
+        return ServingCluster(cc, policy).run(reqs).aggregate;
+    };
+
+    // All-unit scales are the documented identity: bit-identical to a
+    // scale-less fleet, not just close.
+    const ServingSummary plain = run_with({}, 1);
+    const ServingSummary ones = run_with({1.0, 1.0, 1.0, 1.0}, 1);
+    expectSummariesBitIdentical(plain, ones);
+
+    // A genuinely mixed fleet still merges bit-identically whatever
+    // the worker-thread count, and slower hardware shows up in the
+    // makespan-level numbers rather than breaking accounting.
+    const ServingSummary m1 = run_with({2.0, 1.0, 0.5, 0.25}, 1);
+    const ServingSummary m4 = run_with({2.0, 1.0, 0.5, 0.25}, 4);
+    expectSummariesBitIdentical(m1, m4);
+    EXPECT_EQ(m1.completed, plain.completed);
+
+    // Config validation: the scale vector must match the fleet size
+    // and stay positive.
+    ClusterConfig bad;
+    bad.replicas = 4;
+    bad.bwScales = {1.0, 1.0};
+    EXPECT_THROW(ServingCluster(bad, policy), PanicError);
+    bad.bwScales = {1.0, 1.0, 0.0, 1.0};
+    EXPECT_THROW(ServingCluster(bad, policy), PanicError);
+}

@@ -152,7 +152,7 @@ TEST(ObsTrace, RingBoundsEventCountAndCountsDrops)
     opts.ringCapacity = 8;
     TraceSink sink(opts);
     for (int i = 0; i < 50; ++i)
-        sink.reqFirstToken(i, static_cast<dam::Cycle>(i) * 10);
+        sink.reqFirstToken(i, 0, static_cast<dam::Cycle>(i) * 10);
     EXPECT_EQ(sink.eventCount(), 8u);
     EXPECT_EQ(sink.droppedEvents(), 42u);
     // The survivors are the newest events, oldest-first.

@@ -12,6 +12,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "runtime/cluster.hh"
 #include "support/rng.hh"
 
@@ -636,6 +638,276 @@ TEST(Resilience, FaultyResilientRunIsThreadCountInvariantAndReplays)
         EXPECT_EQ(q1[i].state, q4[i].state);
         EXPECT_EQ(q1[i].finishedAt, q4[i].finishedAt);
         EXPECT_EQ(q1[i].attempt, q4[i].attempt);
+        EXPECT_EQ(q1[i].state, q1b[i].state);
+        EXPECT_EQ(q1[i].finishedAt, q1b[i].finishedAt);
+    }
+    expectAccountingCloses(r1.aggregate, int64_t(q1.size()));
+}
+
+// ---- telemetry-inferred breakers ---------------------------------------
+
+TEST(HealthMonitor, ErrorWindowOpensAtItsCloseEdgeAndHealthyStreakCloses)
+{
+    HealthMonitorConfig hc;
+    hc.windowCycles = 1'000;
+    hc.openOnErrors = 1;
+    hc.closeAfterHealthy = 2;
+    hc.cooldownCycles = 5'000;
+    HealthMonitor hm(hc);
+    hm.observeWindow(0, 10, 100); // w0 healthy
+    hm.observeWindow(3, 2, 100);  // w1 errors -> open at close (2000)
+    hm.observeWindow(0, 8, 100);  // w2 healthy (streak 1)
+    hm.observeWindow(0, 9, 100);  // w3 healthy (streak 2) -> close @4000
+    BreakerTimeline tl = hm.finish();
+
+    ASSERT_EQ(tl.open.size(), 1u);
+    EXPECT_EQ(tl.open[0].start, 2'000u);
+    EXPECT_EQ(tl.open[0].end, 4'000u);
+    ASSERT_EQ(tl.halfOpen.size(), 1u);
+    EXPECT_EQ(tl.halfOpen[0].start, 4'000u);
+    EXPECT_EQ(tl.halfOpen[0].end, 9'000u);
+    EXPECT_EQ(tl.stateAt(2'500), BreakerState::Open);
+    EXPECT_EQ(tl.stateAt(4'500), BreakerState::HalfOpen);
+    EXPECT_EQ(tl.stateAt(9'000), BreakerState::Closed);
+}
+
+TEST(HealthMonitor, DegradedStreakOpensAfterConsecutiveWindowsOnly)
+{
+    HealthMonitorConfig hc;
+    hc.windowCycles = 1'000;
+    hc.degradedTtftCycles = 500.0;
+    hc.openAfterDegraded = 2;
+    HealthMonitor hm(hc);
+    hm.observeWindow(0, 5, 900); // w0 degraded (streak 1)
+    hm.observeWindow(0, 5, 100); // w1 healthy resets the streak
+    hm.observeWindow(0, 5, 900); // w2 degraded (streak 1)
+    hm.observeWindow(0, 5, 900); // w3 degraded (streak 2) -> open @4000
+    BreakerTimeline tl = hm.finish();
+
+    // Never recovered: finish() seals the breaker open forever.
+    ASSERT_EQ(tl.open.size(), 1u);
+    EXPECT_EQ(tl.open[0].start, 4'000u);
+    EXPECT_EQ(tl.open[0].end, 0u);
+    EXPECT_TRUE(tl.halfOpen.empty());
+    EXPECT_TRUE(tl.openAt(1'000'000'000));
+}
+
+TEST(HealthMonitor, QuietWindowsAreNeutralInBothDirections)
+{
+    HealthMonitorConfig hc;
+    hc.windowCycles = 1'000;
+    hc.degradedTtftCycles = 500.0;
+    hc.openAfterDegraded = 2;
+    hc.closeAfterHealthy = 2;
+    hc.cooldownCycles = 2'000;
+    HealthMonitor hm(hc);
+    hm.observeWindow(0, 5, 900); // w0 degraded (streak 1)
+    hm.observeWindow(0, 0, 0);   // w1 quiet: streak neither grows nor resets
+    hm.observeWindow(0, 5, 900); // w2 degraded (streak 2) -> open @3000
+    hm.observeWindow(0, 5, 100); // w3 healthy (streak 1)
+    hm.observeWindow(0, 0, 0);   // w4 quiet: healthy streak survives
+    hm.observeWindow(0, 5, 100); // w5 healthy (streak 2) -> close @6000
+    BreakerTimeline tl = hm.finish();
+
+    ASSERT_EQ(tl.open.size(), 1u);
+    EXPECT_EQ(tl.open[0].start, 3'000u);
+    EXPECT_EQ(tl.open[0].end, 6'000u);
+    ASSERT_EQ(tl.halfOpen.size(), 1u);
+    EXPECT_EQ(tl.halfOpen[0].start, 6'000u);
+    EXPECT_EQ(tl.halfOpen[0].end, 8'000u);
+}
+
+TEST(HealthMonitor, InferredTimelineDivergesFromPlanUnderShallowSlowdown)
+{
+    // A shallow slowdown (factor above BreakerConfig::openBelowFactor)
+    // never trips the plan-derived breaker...
+    ReplicaFaultTimeline ft;
+    ft.slowdowns.push_back({2'000, 5'000, 0.85});
+    BreakerConfig bc; // openBelowFactor 0.75
+    EXPECT_TRUE(computeBreakerTimeline(ft, bc).open.empty());
+
+    // ...but the telemetry monitor only sees the latency it causes:
+    // enough consecutive windows over the TTFT threshold open the
+    // inferred breaker the plan never scripted.
+    obs::MetricsConfig mc;
+    mc.enabled = true;
+    mc.windowCycles = 1'000;
+    obs::MetricsRegistry m(mc);
+    const auto ttft = m.histogram("ttft_cycles");
+    (void)m.series("requests_failed");
+    for (uint64_t w : {0u, 1u}) // healthy lead-in
+        for (int i = 0; i < 8; ++i)
+            m.record(ttft, w * 1'000 + 100 + uint64_t(i), 100);
+    for (uint64_t w : {2u, 3u, 4u}) // slowdown inflates windowed p95
+        for (int i = 0; i < 8; ++i)
+            m.record(ttft, w * 1'000 + 100 + uint64_t(i), 900);
+    for (uint64_t w : {5u, 6u}) // back to healthy
+        for (int i = 0; i < 8; ++i)
+            m.record(ttft, w * 1'000 + 100 + uint64_t(i), 100);
+
+    HealthMonitorConfig hc;
+    hc.windowCycles = 1'000;
+    hc.degradedTtftCycles = 500.0;
+    hc.openAfterDegraded = 2;
+    hc.closeAfterHealthy = 2;
+    hc.cooldownCycles = 2'000;
+    BreakerTimeline tl = inferBreakerTimeline(m, hc);
+
+    ASSERT_EQ(tl.open.size(), 1u);
+    EXPECT_EQ(tl.open[0].start, 4'000u); // close of the 2nd degraded window
+    EXPECT_EQ(tl.open[0].end, 7'000u);   // close of the 2nd healthy window
+    ASSERT_EQ(tl.halfOpen.size(), 1u);
+    EXPECT_EQ(tl.halfOpen[0].start, 7'000u);
+    EXPECT_EQ(tl.halfOpen[0].end, 9'000u);
+}
+
+TEST(TelemetryBreaker, InferredCrashEdgesTrackThePlanWithinDetectionLag)
+{
+    TraceConfig tc = sessionClusterTrace(40, 4); // 160 requests
+    QueueDepthPolicy policy;
+    ClusterConfig cc;
+    cc.replicas = 4;
+    cc.routing = RouteKind::LeastQueued;
+    cc.engine.prefixCache.capacityTokens = 1 << 18;
+
+    // Scale the outage to the arrival horizon, not the makespan: the
+    // replica must see post-recovery traffic for the monitor to gather
+    // the healthy windows that close the breaker.
+    auto probe_reqs = generateTrace(tc, deriveSeed(2));
+    dam::Cycle last_arrival = 0;
+    for (const Request& q : probe_reqs)
+        last_arrival = std::max(last_arrival, q.arrival);
+    const dam::Cycle fail_at = last_arrival / 4;
+    const dam::Cycle recover_at = last_arrival / 2;
+
+    cc.faults.crashes.push_back({1, fail_at, recover_at});
+    cc.resilience.enabled = true;
+    cc.resilience.breakerSource = BreakerSource::Telemetry;
+    // Isolate the crash signal: latency-triggered opens off, so the
+    // inferred timeline is error-driven exactly where the plan's is.
+    cc.resilience.health.degradedTtftCycles = 1e18;
+
+    auto reqs = generateTrace(tc, deriveSeed(2));
+    ClusterResult r = ServingCluster(cc, policy).run(reqs);
+    expectAccountingCloses(r.aggregate, int64_t(reqs.size()));
+    ASSERT_EQ(r.breakers.size(), 4u);
+
+    const dam::Cycle W = cc.resilience.health.windowCycles;
+    const BreakerTimeline plan =
+        computeBreakerTimeline(cc.faults.forReplica(1),
+                               cc.resilience.breaker);
+    ASSERT_EQ(plan.open.size(), 1u); // ground truth: [fail_at, recover_at)
+
+    const BreakerTimeline& inf = r.breakers[1];
+    ASSERT_EQ(inf.open.size(), 1u)
+        << "telemetry should infer exactly one outage";
+    // Open edge: the crash is visible the moment its window closes —
+    // at most two window-widths after the plan's instantaneous open.
+    EXPECT_GT(inf.open[0].start, plan.open[0].start);
+    EXPECT_LE(inf.open[0].start, plan.open[0].start + 2 * W);
+    // Close edge: never before the actual recovery, and within a
+    // bounded number of windows after it (healthy evidence must
+    // accumulate across bursty traffic, so the bound is loose).
+    ASSERT_NE(inf.open[0].end, 0u)
+        << "breaker never closed after recovery";
+    EXPECT_GE(inf.open[0].end, plan.open[0].end);
+    EXPECT_LE(inf.open[0].end, plan.open[0].end + 16 * W);
+    // Probation follows the inferred close, plan-style.
+    ASSERT_EQ(inf.halfOpen.size(), 1u);
+    EXPECT_EQ(inf.halfOpen[0].start, inf.open[0].end);
+    EXPECT_EQ(inf.halfOpen[0].end,
+              inf.open[0].end + cc.resilience.health.cooldownCycles);
+    // The healthy replicas never error, so error-only telemetry keeps
+    // their breakers closed for the whole run.
+    EXPECT_TRUE(r.breakers[0].open.empty());
+    EXPECT_TRUE(r.breakers[2].open.empty());
+    EXPECT_TRUE(r.breakers[3].open.empty());
+}
+
+TEST(TelemetryBreaker, AvailabilityMatchesPlainFailoverOnAcceptancePlan)
+{
+    TraceConfig tc = sessionClusterTrace(40, 4); // 160 requests
+    QueueDepthPolicy policy;
+    ClusterConfig cc;
+    cc.replicas = 4;
+    cc.routing = RouteKind::LeastQueued;
+    cc.engine.prefixCache.capacityTokens = 1 << 18;
+
+    auto probe_reqs = generateTrace(tc, deriveSeed(2));
+    ServingCluster probe(cc, policy);
+    const dam::Cycle makespan = probe.run(probe_reqs).aggregate.makespan;
+    const int64_t submitted = int64_t(probe_reqs.size());
+
+    cc.faults = acceptancePlan(makespan);
+
+    auto plain_reqs = generateTrace(tc, deriveSeed(2));
+    ClusterResult plain = ServingCluster(cc, policy).run(plain_reqs);
+    expectAccountingCloses(plain.aggregate, submitted);
+
+    cc.resilience.enabled = true;
+    cc.resilience.remotePrefix.enabled = true;
+    cc.resilience.breakerSource = BreakerSource::Telemetry;
+    auto res_reqs = generateTrace(tc, deriveSeed(2));
+    ClusterResult res = ServingCluster(cc, policy).run(res_reqs);
+    expectAccountingCloses(res.aggregate, submitted);
+
+    // The acceptance bar for inferred breakers: routing on what a
+    // monitor can observe — rather than the plan's ground truth — must
+    // not give back the availability the tier bought.
+    EXPECT_GE(res.aggregate.availability, plain.aggregate.availability);
+    EXPECT_GT(res.migrationsIssued, 0)
+        << "telemetry-sourced tier never exercised migration";
+}
+
+TEST(TelemetryBreaker, TelemetryRunIsThreadCountInvariantAndReplays)
+{
+    TraceConfig tc = sessionClusterTrace(24, 3);
+    QueueDepthPolicy policy;
+
+    auto run_with = [&](int64_t threads) {
+        ClusterConfig cc;
+        cc.replicas = 4;
+        cc.threads = threads;
+        cc.routing = RouteKind::LeastQueued;
+        cc.engine.prefixCache.capacityTokens = 1 << 18;
+        cc.faults.crashes.push_back({1, 20'000'000, 45'000'000});
+        cc.faults.slowdowns.push_back({2, 30'000'000, 80'000'000, 0.5});
+        cc.resilience.enabled = true;
+        cc.resilience.breakerSource = BreakerSource::Telemetry;
+        auto reqs = generateTrace(tc, deriveSeed(2));
+        ClusterResult r = ServingCluster(cc, policy).run(reqs);
+        return std::make_pair(std::move(r), std::move(reqs));
+    };
+    auto [r1, q1] = run_with(1);
+    auto [r4, q4] = run_with(4);
+    auto [r1b, q1b] = run_with(1); // same seed replays bit-identically
+
+    // The observation pass and the inferred timelines are coordinator
+    // pre-passes: identical breaker windows whatever the thread count.
+    ASSERT_EQ(r1.breakers.size(), r4.breakers.size());
+    for (size_t i = 0; i < r1.breakers.size(); ++i) {
+        ASSERT_EQ(r1.breakers[i].open.size(),
+                  r4.breakers[i].open.size());
+        for (size_t w = 0; w < r1.breakers[i].open.size(); ++w) {
+            EXPECT_EQ(r1.breakers[i].open[w].start,
+                      r4.breakers[i].open[w].start);
+            EXPECT_EQ(r1.breakers[i].open[w].end,
+                      r4.breakers[i].open[w].end);
+            EXPECT_EQ(r1.breakers[i].open[w].start,
+                      r1b.breakers[i].open[w].start);
+        }
+    }
+    EXPECT_EQ(r1.aggregate.completed, r4.aggregate.completed);
+    EXPECT_EQ(r1.aggregate.failedRequests, r4.aggregate.failedRequests);
+    EXPECT_EQ(r1.aggregate.makespan, r4.aggregate.makespan);
+    EXPECT_EQ(r1.aggregate.ttftP99, r4.aggregate.ttftP99);
+    EXPECT_EQ(r1.migrationsIssued, r4.migrationsIssued);
+    EXPECT_EQ(r1.aggregate.makespan, r1b.aggregate.makespan);
+    EXPECT_EQ(r1.migrationsIssued, r1b.migrationsIssued);
+    ASSERT_EQ(q1.size(), q4.size());
+    for (size_t i = 0; i < q1.size(); ++i) {
+        EXPECT_EQ(q1[i].state, q4[i].state);
+        EXPECT_EQ(q1[i].finishedAt, q4[i].finishedAt);
         EXPECT_EQ(q1[i].state, q1b[i].state);
         EXPECT_EQ(q1[i].finishedAt, q1b[i].finishedAt);
     }
